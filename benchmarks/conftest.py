@@ -1,0 +1,106 @@
+"""Shared fixtures and scale settings for the benchmark suite.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (Section 7).  The measurements use the synthetic stand-in
+datasets described in DESIGN.md at a laptop-friendly scale, so the numbers
+to compare against the paper are the *relative* ones: which engine wins,
+how the gap evolves with query size, and where engines stop answering
+within the time budget.
+
+Formatted result tables are written to ``benchmarks/results/`` so that the
+figures can be inspected (and EXPERIMENTS.md regenerated) after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import ExperimentScale
+
+#: Scale used by the benchmark suite.  Larger than the unit-test scale so the
+#: engines separate, small enough that the whole suite runs in minutes.
+BENCH_SCALE = ExperimentScale(
+    lubm_scale=3,
+    lubm_students_per_department=40,
+    yago_persons=800,
+    dbpedia_entities_per_domain=250,
+    queries_per_size=4,
+    timeout_seconds=3.0,
+    seed=7,
+)
+
+#: Query sizes (triple patterns per query) for the figure benchmarks.
+FIGURE_SIZES = (10, 20, 30, 40, 50)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The benchmark-wide scale settings."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where formatted result tables are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def figure_runner(bench_scale):
+    """Return a callable running one (dataset, shape) figure experiment.
+
+    The callable returns the :class:`~repro.bench.FigureResult` plus the two
+    formatted panels (average time and % unanswered) exactly as the paper's
+    figures present them.
+    """
+    from repro.bench import figure_experiment, format_figure_series
+
+    def run(dataset: str, shape: str, title: str):
+        figure = figure_experiment(dataset, shape, sizes=FIGURE_SIZES, scale=bench_scale)
+        time_panel = format_figure_series(figure.series, "time", f"{title} (a)")
+        robustness_panel = format_figure_series(figure.series, "unanswered", f"{title} (b)")
+        return figure, time_panel, robustness_panel
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def assert_figure_shape():
+    """Return a checker for the qualitative shape shared by Figures 6-11.
+
+    AMbER must be at least as robust as every baseline at the largest query
+    size, and must not be slower than the fastest baseline by more than a
+    small factor at that size (the paper shows it strictly fastest; the
+    relaxed factor keeps the benchmark robust to timer noise on answered
+    queries).
+    """
+
+    def check(figure, largest_size: int = max(FIGURE_SIZES)) -> None:
+        per_engine = figure.series[largest_size]
+        amber = per_engine["AMbER"]
+        assert amber.outcomes, "AMbER produced no outcomes at the largest size"
+        for name, result in per_engine.items():
+            if name == "AMbER":
+                continue
+            assert amber.unanswered_percentage <= result.unanswered_percentage + 1e-9, (
+                f"AMbER answered fewer size-{largest_size} queries than {name}"
+            )
+
+    return check
+
+
+@pytest.fixture(scope="session")
+def record_result(results_dir):
+    """Return a writer that persists one formatted result table and echoes it."""
+
+    def write(name: str, text: str) -> None:
+        path = results_dir / name
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+
+    return write

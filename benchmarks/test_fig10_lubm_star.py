@@ -1,0 +1,16 @@
+"""Figure 10: star-shaped queries on LUBM100 — average time (a) and robustness (b).
+
+Paper shape: AMbER outperforms every competitor at every size (2-3 orders of
+magnitude against Virtuoso); the other engines fail from size 20 on.
+"""
+
+from __future__ import annotations
+
+
+def test_fig10_lubm_star(benchmark, figure_runner, assert_figure_shape, record_result):
+    figure, time_panel, robustness_panel = benchmark.pedantic(
+        figure_runner, args=("LUBM", "star", "Figure 10 — LUBM-like, star queries"),
+        rounds=1, iterations=1,
+    )
+    record_result("fig10_lubm_star.txt", time_panel + "\n\n" + robustness_panel)
+    assert_figure_shape(figure)

@@ -1,0 +1,17 @@
+"""Figure 11: complex-shaped queries on LUBM100 — average time (a) and robustness (b).
+
+Paper shape: AMbER has the best time performance; the other graph/join
+engines stop answering from size 30 on, Virtuoso is competitive only for the
+smallest sizes.
+"""
+
+from __future__ import annotations
+
+
+def test_fig11_lubm_complex(benchmark, figure_runner, assert_figure_shape, record_result):
+    figure, time_panel, robustness_panel = benchmark.pedantic(
+        figure_runner, args=("LUBM", "complex", "Figure 11 — LUBM-like, complex queries"),
+        rounds=1, iterations=1,
+    )
+    record_result("fig11_lubm_complex.txt", time_panel + "\n\n" + robustness_panel)
+    assert_figure_shape(figure)

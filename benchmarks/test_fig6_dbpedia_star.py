@@ -1,0 +1,17 @@
+"""Figure 6: star-shaped queries on DBPEDIA — average time (a) and robustness (b).
+
+Paper shape: AMbER outperforms every competitor at all sizes and keeps
+answering >98% of the queries up to size 50, while the competitors' share of
+unanswered queries grows with the query size.
+"""
+
+from __future__ import annotations
+
+
+def test_fig6_dbpedia_star(benchmark, figure_runner, assert_figure_shape, record_result):
+    figure, time_panel, robustness_panel = benchmark.pedantic(
+        figure_runner, args=("DBPEDIA", "star", "Figure 6 — DBpedia-like, star queries"),
+        rounds=1, iterations=1,
+    )
+    record_result("fig6_dbpedia_star.txt", time_panel + "\n\n" + robustness_panel)
+    assert_figure_shape(figure)

@@ -1,0 +1,16 @@
+"""Figure 7: complex-shaped queries on DBPEDIA — average time (a) and robustness (b).
+
+Paper shape: AMbER outperforms all competitors for all sizes; x-RDF-3X and
+Jena stop answering from size 30 on, Virtuoso and gStore degrade with size.
+"""
+
+from __future__ import annotations
+
+
+def test_fig7_dbpedia_complex(benchmark, figure_runner, assert_figure_shape, record_result):
+    figure, time_panel, robustness_panel = benchmark.pedantic(
+        figure_runner, args=("DBPEDIA", "complex", "Figure 7 — DBpedia-like, complex queries"),
+        rounds=1, iterations=1,
+    )
+    record_result("fig7_dbpedia_complex.txt", time_panel + "\n\n" + robustness_panel)
+    assert_figure_shape(figure)

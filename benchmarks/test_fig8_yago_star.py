@@ -1,0 +1,16 @@
+"""Figure 8: star-shaped queries on YAGO — average time (a) and robustness (b).
+
+Paper shape: AMbER is 1-2 orders of magnitude faster than its nearest
+competitor (Virtuoso) and stays stable as the query size grows.
+"""
+
+from __future__ import annotations
+
+
+def test_fig8_yago_star(benchmark, figure_runner, assert_figure_shape, record_result):
+    figure, time_panel, robustness_panel = benchmark.pedantic(
+        figure_runner, args=("YAGO", "star", "Figure 8 — YAGO-like, star queries"),
+        rounds=1, iterations=1,
+    )
+    record_result("fig8_yago_star.txt", time_panel + "\n\n" + robustness_panel)
+    assert_figure_shape(figure)

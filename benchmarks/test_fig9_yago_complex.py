@@ -1,0 +1,16 @@
+"""Figure 9: complex-shaped queries on YAGO — average time (a) and robustness (b).
+
+Paper shape: AMbER remains the fastest; Virtuoso and gStore are the closest
+competitors, the join-based engines stop answering from size 20-30 on.
+"""
+
+from __future__ import annotations
+
+
+def test_fig9_yago_complex(benchmark, figure_runner, assert_figure_shape, record_result):
+    figure, time_panel, robustness_panel = benchmark.pedantic(
+        figure_runner, args=("YAGO", "complex", "Figure 9 — YAGO-like, complex queries"),
+        rounds=1, iterations=1,
+    )
+    record_result("fig9_yago_complex.txt", time_panel + "\n\n" + robustness_panel)
+    assert_figure_shape(figure)

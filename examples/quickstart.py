@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Quickstart: load RDF data, build the AMbER engine, run SPARQL queries.
+
+This walks through the running example of the paper (Figure 1's tripleset
+and Figure 2's query): the RDF data is transformed into an attributed
+multigraph, the three indexes are built, and SELECT/WHERE queries are
+answered by sub-multigraph homomorphism.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import AmberEngine
+
+#: The paper's Figure 1 tripleset, in Turtle.
+DATA = """
+@prefix x: <http://dbpedia.org/resource/> .
+@prefix y: <http://dbpedia.org/ontology/> .
+
+x:London y:isPartOf x:England .
+x:England y:hasCapital x:London .
+x:Christopher_Nolan y:wasBornIn x:London .
+x:Christopher_Nolan y:livedIn x:England .
+x:Christopher_Nolan y:isPartOf x:Dark_Knight_Trilogy .
+x:London y:hasStadium x:WembleyStadium .
+x:WembleyStadium y:hasCapacityOf "90000" .
+x:Amy_Winehouse y:wasBornIn x:London .
+x:Amy_Winehouse y:diedIn x:London .
+x:Amy_Winehouse y:wasPartOf x:Music_Band .
+x:Music_Band y:hasName "MCA_Band" .
+x:Music_Band y:foundedIn "1994" .
+x:Music_Band y:wasFormedIn x:London .
+x:Amy_Winehouse y:livedIn x:United_States .
+x:Amy_Winehouse y:wasMarriedTo x:Blake_Fielder-Civil .
+x:Blake_Fielder-Civil y:livedIn x:United_States .
+"""
+
+PREFIXES = """
+PREFIX x: <http://dbpedia.org/resource/>
+PREFIX y: <http://dbpedia.org/ontology/>
+"""
+
+
+def main() -> None:
+    # Offline stage: RDF -> attributed multigraph + indexes I = {A, S, N}.
+    engine = AmberEngine.from_turtle(DATA)
+    print("Engine built:", engine)
+    assert engine.build_report is not None
+    print(
+        f"Offline stage: database {engine.build_report.database_seconds * 1000:.2f} ms, "
+        f"indexes {engine.build_report.index_seconds * 1000:.2f} ms\n"
+    )
+
+    # A star query: who was born AND died in the same city, and where?
+    star = PREFIXES + """
+    SELECT ?person ?city WHERE {
+      ?person y:wasBornIn ?city .
+      ?person y:diedIn ?city .
+    }
+    """
+    print("People born and died in the same city:")
+    print(engine.query(star).to_table(), "\n")
+
+    # The paper's Figure 2 query (without the unmatched livedIn pattern):
+    # find the person married to someone, member of the MCA_Band formed in
+    # the city with the 90000-capacity stadium, living in the United States.
+    figure2 = PREFIXES + """
+    SELECT ?X1 ?X3 ?X5 ?X6 WHERE {
+      ?X1 y:isPartOf ?X2 .
+      ?X2 y:hasCapital ?X1 .
+      ?X1 y:hasStadium ?X4 .
+      ?X3 y:wasBornIn ?X1 .
+      ?X3 y:diedIn ?X1 .
+      ?X3 y:wasMarriedTo ?X6 .
+      ?X3 y:wasPartOf ?X5 .
+      ?X5 y:wasFormedIn ?X1 .
+      ?X4 y:hasCapacityOf "90000" .
+      ?X5 y:hasName "MCA_Band" .
+      ?X3 y:livedIn x:United_States .
+    }
+    """
+    print("Figure 2 query (city, person, band, spouse):")
+    print(engine.query(figure2).to_table(), "\n")
+
+    # Literal constraints become vertex attributes in the multigraph.
+    capacity = PREFIXES + 'SELECT ?s WHERE { ?s y:hasCapacityOf "90000" . }'
+    print("Stadium with capacity 90000:")
+    print(engine.query(capacity).to_table(), "\n")
+
+    # ASK-style and COUNT-style helpers.
+    lived_in_us = PREFIXES + "SELECT ?p WHERE { ?p y:livedIn x:United_States . }"
+    print("Anyone living in the United States?", engine.ask(lived_in_us))
+    print("How many?", engine.count(lived_in_us))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim so ``python setup.py develop`` works in offline environments
+where pip's PEP 660 editable builds are unavailable (no ``wheel`` package).
+Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

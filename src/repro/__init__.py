@@ -1,0 +1,46 @@
+"""AMbER — Attributed Multigraph Based Engine for RDF querying.
+
+A from-scratch Python reproduction of the EDBT 2016 paper "Querying RDF
+Data Using A Multigraph-based Approach" (Ingalalli, Ienco, Poncelet,
+Villata), together with the RDF/SPARQL substrates, baseline engines,
+synthetic benchmark generators and the evaluation harness.
+
+Typical usage::
+
+    from repro import AmberEngine
+
+    engine = AmberEngine.from_ntriples_file("data.nt")
+    query = 'SELECT ?who WHERE { ?who <http://example.org/livedIn> <http://example.org/London> . }'
+    results = engine.query(query)
+    for row in results:
+        print(row)
+"""
+
+from .amber.engine import AmberEngine, BuildReport
+from .amber.matching import MatcherConfig, QueryTimeout
+from .rdf.dataset import TripleStore
+from .rdf.terms import IRI, BlankNode, Literal, Triple
+from .sparql.algebra import SelectQuery, TriplePattern, Variable
+from .sparql.bindings import Binding, ResultSet
+from .sparql.parser import parse_sparql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmberEngine",
+    "BuildReport",
+    "MatcherConfig",
+    "QueryTimeout",
+    "TripleStore",
+    "IRI",
+    "BlankNode",
+    "Literal",
+    "Triple",
+    "SelectQuery",
+    "TriplePattern",
+    "Variable",
+    "Binding",
+    "ResultSet",
+    "parse_sparql",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""AMbER core: query decomposition, homomorphic matching and the engine."""
+
+from .decompose import QueryDecomposition, decompose_query, order_core_vertices
+from .embeddings import combine_component_bindings, component_bindings, solution_to_bindings
+from .engine import AmberEngine, BuildReport
+from .matching import ComponentSolution, MatcherConfig, MultigraphMatcher, QueryTimeout
+
+__all__ = [
+    "AmberEngine",
+    "BuildReport",
+    "MatcherConfig",
+    "MultigraphMatcher",
+    "ComponentSolution",
+    "QueryTimeout",
+    "QueryDecomposition",
+    "decompose_query",
+    "order_core_vertices",
+    "solution_to_bindings",
+    "component_bindings",
+    "combine_component_bindings",
+]

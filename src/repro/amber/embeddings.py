@@ -1,0 +1,61 @@
+"""Turning matcher solutions into SPARQL bindings (GenEmb, Section 5.3).
+
+A :class:`ComponentSolution` stores one data vertex per core vertex and a
+set of data vertices per satellite vertex.  This module expands those
+solutions into full embeddings, translates vertex ids back into RDF
+entities through the inverse vertex mapping ``Mv^-1`` and combines the
+results of independent connected components with a Cartesian product.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Iterator, Sequence
+
+from ..multigraph.builder import DataMultigraph
+from ..multigraph.query_graph import QueryMultigraph
+from ..sparql.bindings import Binding
+from .matching import ComponentSolution
+
+__all__ = ["solution_to_bindings", "component_bindings", "combine_component_bindings"]
+
+
+def solution_to_bindings(
+    solution: ComponentSolution, qgraph: QueryMultigraph, data: DataMultigraph
+) -> Iterator[Binding]:
+    """Expand one component solution into bindings over the component's variables."""
+    for embedding in solution.embeddings():
+        yield Binding(
+            {
+                qgraph.variable_of(query_vertex): data.entity(data_vertex)
+                for query_vertex, data_vertex in embedding.items()
+            }
+        )
+
+
+def component_bindings(
+    solutions: Iterable[ComponentSolution], qgraph: QueryMultigraph, data: DataMultigraph
+) -> Iterator[Binding]:
+    """Expand every solution of one component into bindings."""
+    for solution in solutions:
+        yield from solution_to_bindings(solution, qgraph, data)
+
+
+def combine_component_bindings(per_component: Sequence[list[Binding]]) -> Iterator[Binding]:
+    """Cartesian-combine the bindings of independent connected components.
+
+    SPARQL semantics for a disconnected basic graph pattern is the cross
+    product of the component answers; an empty component answer therefore
+    yields an empty overall result.
+    """
+    if not per_component:
+        yield Binding({})
+        return
+    for combination in product(*per_component):
+        merged: Binding | None = combination[0]
+        for part in combination[1:]:
+            merged = merged.merge(part)
+            if merged is None:
+                break
+        if merged is not None:
+            yield merged

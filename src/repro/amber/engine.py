@@ -1,0 +1,239 @@
+"""The AMbER engine: offline build + online SPARQL answering.
+
+This is the public entry point of the library:
+
+>>> from repro import AmberEngine
+>>> engine = AmberEngine.from_turtle(my_turtle_text)
+>>> results = engine.query("SELECT ?x WHERE { ?x <http://example.org/p> <http://example.org/o> . }")
+
+The offline stage (Section 3) transforms the RDF tripleset into the data
+multigraph and builds the index ensemble ``I = {A, S, N}``.  The online
+stage converts each SPARQL query into a query multigraph and runs the
+core/satellite homomorphic matching of Section 5.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..index.manager import IndexSet
+from ..multigraph.builder import DataMultigraph, build_data_multigraph
+from ..multigraph.query_graph import QueryMultigraph, build_query_multigraph
+from ..rdf.dataset import TripleStore
+from ..rdf.ntriples import parse_ntriples, parse_ntriples_file
+from ..rdf.terms import Triple
+from ..rdf.turtle import parse_turtle
+from ..sparql.algebra import SelectQuery
+from ..sparql.bindings import Binding, ResultSet
+from ..sparql.parser import parse_sparql
+from ..timing import Deadline
+from .embeddings import combine_component_bindings, component_bindings
+from .matching import MatcherConfig, MultigraphMatcher, QueryTimeout
+
+__all__ = ["AmberEngine", "BuildReport", "QueryTimeout"]
+
+
+@dataclass
+class BuildReport:
+    """Offline-stage timings and sizes (the rows of Table 5)."""
+
+    database_seconds: float
+    index_seconds: float
+    triples: int
+    vertices: int
+    edges: int
+    edge_types: int
+    attributes: int
+    index_items: int
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Return the report as a plain dictionary (handy for printing tables)."""
+        return {
+            "database_seconds": self.database_seconds,
+            "index_seconds": self.index_seconds,
+            "triples": self.triples,
+            "vertices": self.vertices,
+            "edges": self.edges,
+            "edge_types": self.edge_types,
+            "attributes": self.attributes,
+            "index_items": self.index_items,
+        }
+
+
+class AmberEngine:
+    """Attributed Multigraph Based Engine for RDF querying."""
+
+    name = "AMbER"
+
+    def __init__(
+        self,
+        data: DataMultigraph,
+        indexes: IndexSet,
+        build_report: BuildReport | None = None,
+        config: MatcherConfig | None = None,
+    ):
+        self.data = data
+        self.indexes = indexes
+        self.build_report = build_report
+        self.config = config or MatcherConfig()
+
+    # ------------------------------------------------------------------ #
+    # offline stage
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Iterable[Triple],
+        config: MatcherConfig | None = None,
+        rtree_fanout: int = 16,
+    ) -> "AmberEngine":
+        """Build the engine (multigraph + indexes) from an iterable of triples."""
+        start = time.perf_counter()
+        data = build_data_multigraph(triples)
+        database_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        indexes = IndexSet.build(data, rtree_fanout=rtree_fanout)
+        index_seconds = time.perf_counter() - start
+
+        stats = data.statistics()
+        report = BuildReport(
+            database_seconds=database_seconds,
+            index_seconds=index_seconds,
+            triples=stats["triples"],
+            vertices=stats["vertices"],
+            edges=stats["edges"],
+            edge_types=stats["edge_types"],
+            attributes=stats["attributes"],
+            index_items=indexes.report.total_items if indexes.report else 0,
+        )
+        return cls(data, indexes, report, config)
+
+    @classmethod
+    def from_store(cls, store: TripleStore, config: MatcherConfig | None = None) -> "AmberEngine":
+        """Build the engine from a :class:`TripleStore`."""
+        return cls.from_triples(iter(store), config=config)
+
+    @classmethod
+    def from_ntriples(cls, text: str, config: MatcherConfig | None = None) -> "AmberEngine":
+        """Build the engine from an N-Triples document string."""
+        return cls.from_triples(parse_ntriples(text), config=config)
+
+    @classmethod
+    def from_ntriples_file(cls, path, config: MatcherConfig | None = None) -> "AmberEngine":
+        """Build the engine from an ``.nt`` file."""
+        return cls.from_triples(parse_ntriples_file(path), config=config)
+
+    @classmethod
+    def from_turtle(cls, text: str, config: MatcherConfig | None = None) -> "AmberEngine":
+        """Build the engine from a Turtle document string."""
+        return cls.from_triples(parse_turtle(text), config=config)
+
+    # ------------------------------------------------------------------ #
+    # online stage
+    # ------------------------------------------------------------------ #
+    def prepare(self, query: str | SelectQuery) -> tuple[SelectQuery, QueryMultigraph]:
+        """Parse (if needed) and transform a query into its query multigraph."""
+        parsed = parse_sparql(query) if isinstance(query, str) else query
+        return parsed, build_query_multigraph(parsed, self.data)
+
+    def query(
+        self,
+        query: str | SelectQuery,
+        timeout_seconds: float | None = None,
+        max_solutions: int | None = None,
+    ) -> ResultSet:
+        """Answer a SPARQL SELECT query and return its result set.
+
+        ``timeout_seconds`` overrides the engine-level matcher timeout;
+        :class:`QueryTimeout` is raised when it is exceeded.
+        """
+        parsed, qgraph = self.prepare(query)
+        rows = self._solve(parsed, qgraph, timeout_seconds, max_solutions)
+        return ResultSet.for_query(parsed, rows)
+
+    def count(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> int:
+        """Return the number of solution rows of ``query``."""
+        return len(self.query(query, timeout_seconds=timeout_seconds))
+
+    def ask(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> bool:
+        """Return True when the query has at least one solution."""
+        parsed, qgraph = self.prepare(query)
+        rows = self._solve(parsed, qgraph, timeout_seconds, max_solutions=1)
+        for _ in rows:
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _solve(
+        self,
+        parsed: SelectQuery,
+        qgraph: QueryMultigraph,
+        timeout_seconds: float | None,
+        max_solutions: int | None,
+    ) -> list[Binding]:
+        if qgraph.unsatisfiable or any(v.unsatisfiable for v in qgraph.vertices.values()):
+            return []
+        effective_timeout = (
+            timeout_seconds if timeout_seconds is not None else self.config.timeout_seconds
+        )
+        effective_limit = (
+            max_solutions if max_solutions is not None else self.config.max_solutions
+        )
+        config = MatcherConfig(
+            use_signature_index=self.config.use_signature_index,
+            use_satellite_decomposition=self.config.use_satellite_decomposition,
+            ordering=self.config.ordering,
+            max_solutions=effective_limit,
+            timeout_seconds=effective_timeout,
+        )
+        matcher = MultigraphMatcher(self.data, self.indexes, config)
+        # One deadline shared by the matching recursion of every component and
+        # by the embedding expansion below, so unselective queries whose
+        # Cartesian product explodes still honour the time budget.
+        deadline = Deadline(effective_timeout)
+
+        components = qgraph.connected_components()
+        if not components:
+            # A fully ground query: satisfiable (checked above) means one empty row.
+            return [Binding({})]
+        per_component: list[list[Binding]] = []
+        for component in components:
+            solutions = matcher.match_component(qgraph, component, deadline)
+            bindings = self._collect(
+                component_bindings(solutions, qgraph, self.data), deadline, effective_limit
+            )
+            if not bindings:
+                return []
+            per_component.append(bindings)
+        if len(per_component) == 1:
+            return per_component[0]
+        return self._collect(
+            combine_component_bindings(per_component), deadline, effective_limit
+        )
+
+    @staticmethod
+    def _collect(rows, deadline: Deadline, limit: int | None) -> list[Binding]:
+        """Materialise bindings under the shared deadline and optional row cap."""
+        collected: list[Binding] = []
+        for row in rows:
+            deadline.check()
+            collected.append(row)
+            if limit is not None and len(collected) >= limit:
+                break
+        return collected
+
+    def statistics(self) -> dict[str, int]:
+        """Return dataset statistics of the loaded multigraph (Table 4)."""
+        return self.data.statistics()
+
+    def __repr__(self) -> str:
+        stats = self.data.statistics()
+        return (
+            f"AmberEngine(vertices={stats['vertices']}, edges={stats['edges']}, "
+            f"edge_types={stats['edge_types']}, attributes={stats['attributes']})"
+        )

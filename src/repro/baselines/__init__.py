@@ -1,0 +1,16 @@
+"""Baseline SPARQL engines standing in for the paper's competitors."""
+
+from .backtracking import GraphBacktrackingEngine
+from .base import BaselineEngine, Deadline
+from .filter_refine import FilterRefineEngine
+from .hash_join import HashJoinEngine
+from .nested_loop import NestedLoopEngine
+
+__all__ = [
+    "BaselineEngine",
+    "Deadline",
+    "NestedLoopEngine",
+    "HashJoinEngine",
+    "GraphBacktrackingEngine",
+    "FilterRefineEngine",
+]

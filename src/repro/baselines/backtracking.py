@@ -1,0 +1,143 @@
+"""Graph-backtracking homomorphism engine without precomputed indexes.
+
+The query is interpreted as a graph pattern over its variables; evaluation
+backtracks over query variables in a connectivity-preserving order and
+extends partial assignments by scanning the triple store's adjacency.  This
+is the generic subgraph-homomorphism strategy (TurboHom-style search
+without its data-graph index), and serves as the "graph engine without an
+offline index" point of comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..rdf.terms import IRI, Literal, Term
+from ..sparql.algebra import SelectQuery, TriplePattern, Variable
+from ..sparql.bindings import Binding
+from .base import BaselineEngine, Deadline
+
+__all__ = ["GraphBacktrackingEngine"]
+
+
+class GraphBacktrackingEngine(BaselineEngine):
+    """Backtracking over query variables using only the triple store adjacency."""
+
+    name = "Backtracking"
+
+    def _evaluate(self, query: SelectQuery, deadline: Deadline) -> Iterator[Binding]:
+        variables = query.variables()
+        if not variables:
+            if all(self._ground_holds(p) for p in query.patterns):
+                yield Binding({})
+            return
+        order = self._variable_order(query)
+        yield from self._extend(query, order, 0, {}, deadline)
+
+    # ------------------------------------------------------------------ #
+    # ordering
+    # ------------------------------------------------------------------ #
+    def _variable_order(self, query: SelectQuery) -> list[Variable]:
+        """Order variables by the number of patterns they touch, keeping connectivity."""
+        occurrences: dict[Variable, int] = {}
+        adjacency: dict[Variable, set[Variable]] = {}
+        for pattern in query.patterns:
+            pattern_vars = pattern.variables()
+            for var in pattern_vars:
+                occurrences[var] = occurrences.get(var, 0) + 1
+                adjacency.setdefault(var, set()).update(pattern_vars - {var})
+        ordered: list[Variable] = []
+        remaining = set(occurrences)
+        while remaining:
+            frontier = {v for v in remaining if any(n in ordered for n in adjacency.get(v, ()))}
+            pool = frontier if frontier and ordered else remaining
+            best = max(pool, key=lambda v: (occurrences[v], v.name))
+            ordered.append(best)
+            remaining.discard(best)
+        return ordered
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+    def _extend(
+        self,
+        query: SelectQuery,
+        order: list[Variable],
+        depth: int,
+        assignment: dict[Variable, Term],
+        deadline: Deadline,
+    ) -> Iterator[Binding]:
+        deadline.check()
+        if depth == len(order):
+            yield Binding(assignment)
+            return
+        variable = order[depth]
+        candidates = self._candidates(query, variable, assignment, deadline)
+        for candidate in candidates:
+            deadline.check()
+            assignment[variable] = candidate
+            if self._consistent(query, assignment):
+                yield from self._extend(query, order, depth + 1, assignment, deadline)
+        assignment.pop(variable, None)
+
+    def _candidates(
+        self,
+        query: SelectQuery,
+        variable: Variable,
+        assignment: dict[Variable, Term],
+        deadline: Deadline,
+    ) -> set[Term]:
+        """Candidate terms for ``variable`` from every pattern mentioning it."""
+        candidates: set[Term] | None = None
+        for pattern in query.patterns:
+            if variable not in pattern.variables():
+                continue
+            deadline.check()
+            found = self._candidates_from_pattern(pattern, variable, assignment)
+            if found is None:
+                continue
+            candidates = found if candidates is None else candidates & found
+            if not candidates:
+                return set()
+        if candidates is None:
+            # Completely unconstrained variable: every subject/object qualifies.
+            candidates = self.store.subjects() | self.store.objects()
+        return candidates
+
+    def _candidates_from_pattern(
+        self, pattern: TriplePattern, variable: Variable, assignment: dict[Variable, Term]
+    ) -> set[Term] | None:
+        subject = self._resolve(pattern.subject, assignment)
+        obj = self._resolve(pattern.object, assignment)
+        if pattern.subject == variable:
+            lookup_obj = None if isinstance(obj, Variable) else obj
+            return {t.subject for t in self.store.triples(None, pattern.predicate, lookup_obj)}
+        if pattern.object == variable:
+            lookup_subject = None if isinstance(subject, Variable) else subject
+            return {t.object for t in self.store.triples(lookup_subject, pattern.predicate, None)}
+        return None
+
+    def _consistent(self, query: SelectQuery, assignment: dict[Variable, Term]) -> bool:
+        """Check every fully-instantiated pattern against the store."""
+        for pattern in query.patterns:
+            subject = self._resolve(pattern.subject, assignment)
+            obj = self._resolve(pattern.object, assignment)
+            if isinstance(subject, Variable) or isinstance(obj, Variable):
+                continue
+            if isinstance(subject, Literal):
+                return False
+            if not any(True for _ in self.store.triples(subject, pattern.predicate, obj)):
+                return False
+        return True
+
+    def _ground_holds(self, pattern: TriplePattern) -> bool:
+        subject, obj = pattern.subject, pattern.object
+        if isinstance(subject, Variable) or isinstance(obj, Variable) or isinstance(subject, Literal):
+            return False
+        return any(True for _ in self.store.triples(subject, pattern.predicate, obj))
+
+    @staticmethod
+    def _resolve(term, assignment: dict[Variable, Term]):
+        if isinstance(term, Variable) and term in assignment:
+            return assignment[term]
+        return term

@@ -1,0 +1,76 @@
+"""Common machinery shared by the baseline SPARQL engines.
+
+Every baseline answers the same SELECT/WHERE fragment as AMbER and exposes
+the same ``query()`` interface, so that the benchmark harness (Section 7)
+can swap engines freely.  The baselines stand in for the systems the paper
+compares against:
+
+* :class:`~repro.baselines.nested_loop.NestedLoopEngine` — naive triple-at-a-
+  time evaluation in textual pattern order,
+* :class:`~repro.baselines.hash_join.HashJoinEngine` — relational triple-table
+  evaluation with selectivity-ordered binding joins (Virtuoso / x-RDF-3X
+  architecture family),
+* :class:`~repro.baselines.backtracking.GraphBacktrackingEngine` — graph
+  backtracking without any precomputed pruning index,
+* :class:`~repro.baselines.filter_refine.FilterRefineEngine` — filter-and-
+  refine graph matching with a per-vertex label signature (gStore family).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+from ..rdf.dataset import TripleStore
+from ..sparql.algebra import SelectQuery
+from ..sparql.bindings import Binding, ResultSet
+from ..sparql.parser import parse_sparql
+from ..timing import Deadline
+
+__all__ = ["BaselineEngine", "Deadline"]
+
+
+class BaselineEngine(ABC):
+    """Template for baseline engines: parse, evaluate, project."""
+
+    #: Human-readable engine name used in benchmark reports.
+    name = "baseline"
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+
+    @abstractmethod
+    def _evaluate(self, query: SelectQuery, deadline: Deadline) -> Iterable[Binding]:
+        """Yield every solution binding of the basic graph pattern."""
+
+    def query(
+        self,
+        query: str | SelectQuery,
+        timeout_seconds: float | None = None,
+        max_solutions: int | None = None,
+    ) -> ResultSet:
+        """Answer a SPARQL SELECT query, honouring an optional timeout."""
+        parsed = parse_sparql(query) if isinstance(query, str) else query
+        deadline = Deadline(timeout_seconds)
+        rows = self._evaluate(parsed, deadline)
+        if max_solutions is not None:
+            rows = _take(rows, max_solutions)
+        return ResultSet.for_query(parsed, rows)
+
+    def count(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> int:
+        """Return the number of solution rows of ``query``."""
+        return len(self.query(query, timeout_seconds=timeout_seconds))
+
+    def ask(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> bool:
+        """Return True when the query has at least one solution."""
+        return len(self.query(query, timeout_seconds=timeout_seconds, max_solutions=1)) > 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(triples={len(self.store)})"
+
+
+def _take(rows: Iterable[Binding], limit: int) -> Iterator[Binding]:
+    for index, row in enumerate(rows):
+        if index >= limit:
+            return
+        yield row

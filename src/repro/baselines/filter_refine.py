@@ -1,0 +1,154 @@
+"""Filter-and-refine graph matching engine (gStore architecture family).
+
+Offline, the engine assigns every resource a *label signature*: the set of
+``(predicate, direction)`` pairs incident on it plus the set of
+``(predicate, literal)`` attribute pairs.  Online, the filter step computes
+a candidate list per query variable by signature containment (a query
+vertex can only match data vertices whose signature is a superset of its
+own), and the refine step enumerates exact matches by backtracking over the
+filtered candidate lists.
+
+This mirrors gStore's VS-tree filter-and-refine strategy at the level of
+behaviour: strong pruning for selective queries, but candidate lists that
+are recomputed per query and no multi-edge-aware neighbourhood index.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from ..rdf.terms import IRI, BlankNode, Literal, Term
+from ..sparql.algebra import SelectQuery, TriplePattern, Variable
+from ..sparql.bindings import Binding
+from ..rdf.dataset import TripleStore
+from .base import BaselineEngine, Deadline
+
+__all__ = ["FilterRefineEngine"]
+
+_OUT = "-"
+_IN = "+"
+
+
+class FilterRefineEngine(BaselineEngine):
+    """Signature filter + backtracking refinement over candidate lists."""
+
+    name = "FilterRefine"
+
+    def __init__(self, store: TripleStore):
+        super().__init__(store)
+        self._edge_signature: dict[Term, set[tuple[IRI, str]]] = defaultdict(set)
+        self._attribute_signature: dict[Term, set[tuple[IRI, Literal]]] = defaultdict(set)
+        #: Literal objects per predicate: candidates for object variables over
+        #: literal-valued predicates (full SPARQL semantics).
+        self._literal_objects: dict[IRI, set[Literal]] = defaultdict(set)
+        self._build_signatures()
+
+    # ------------------------------------------------------------------ #
+    # offline stage
+    # ------------------------------------------------------------------ #
+    def _build_signatures(self) -> None:
+        for triple in self.store:
+            if isinstance(triple.object, Literal):
+                self._attribute_signature[triple.subject].add((triple.predicate, triple.object))
+                self._literal_objects[triple.predicate].add(triple.object)
+            else:
+                self._edge_signature[triple.subject].add((triple.predicate, _OUT))
+                self._edge_signature[triple.object].add((triple.predicate, _IN))
+
+    # ------------------------------------------------------------------ #
+    # online stage
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, query: SelectQuery, deadline: Deadline) -> Iterator[Binding]:
+        variables = query.variables()
+        if not variables:
+            if all(self._ground_holds(p) for p in query.patterns):
+                yield Binding({})
+            return
+        candidates = self._filter(query, deadline)
+        if any(not c for c in candidates.values()):
+            return
+        order = sorted(variables, key=lambda v: len(candidates[v]))
+        yield from self._refine(query, order, 0, {}, candidates, deadline)
+
+    def _filter(self, query: SelectQuery, deadline: Deadline) -> dict[Variable, set[Term]]:
+        """Compute the per-variable candidate lists by signature containment.
+
+        For every pattern mentioning a variable, the candidates are the terms
+        whose signature contains the required ``(predicate, direction)`` pair
+        (or, for object variables of literal-valued predicates, the literal
+        objects of that predicate); the per-pattern sets are intersected.
+        """
+        candidates: dict[Variable, set[Term]] = {}
+        for pattern in query.patterns:
+            deadline.check()
+            if isinstance(pattern.subject, Variable):
+                if isinstance(pattern.object, Literal):
+                    found = self._resources_with(attribute=(pattern.predicate, pattern.object))
+                else:
+                    found = self._resources_with(edge=(pattern.predicate, _OUT))
+                self._intersect(candidates, pattern.subject, found)
+            if isinstance(pattern.object, Variable):
+                found = self._resources_with(edge=(pattern.predicate, _IN))
+                found |= self._literal_objects.get(pattern.predicate, set())
+                self._intersect(candidates, pattern.object, found)
+        return candidates
+
+    def _resources_with(
+        self,
+        edge: tuple[IRI, str] | None = None,
+        attribute: tuple[IRI, Literal] | None = None,
+    ) -> set[Term]:
+        """Return the resources whose signature contains the required item."""
+        if edge is not None:
+            return {r for r, signature in self._edge_signature.items() if edge in signature}
+        return {
+            r for r, signature in self._attribute_signature.items() if attribute in signature
+        }
+
+    @staticmethod
+    def _intersect(candidates: dict[Variable, set[Term]], variable: Variable, found: set[Term]) -> None:
+        if variable in candidates:
+            candidates[variable] &= found
+        else:
+            candidates[variable] = set(found)
+
+    def _refine(
+        self,
+        query: SelectQuery,
+        order: list[Variable],
+        depth: int,
+        assignment: dict[Variable, Term],
+        candidates: dict[Variable, set[Term]],
+        deadline: Deadline,
+    ) -> Iterator[Binding]:
+        deadline.check()
+        if depth == len(order):
+            yield Binding(assignment)
+            return
+        variable = order[depth]
+        for candidate in candidates[variable]:
+            deadline.check()
+            assignment[variable] = candidate
+            if self._partial_consistent(query, assignment):
+                yield from self._refine(query, order, depth + 1, assignment, candidates, deadline)
+        assignment.pop(variable, None)
+
+    def _partial_consistent(self, query: SelectQuery, assignment: dict[Variable, Term]) -> bool:
+        """Verify every pattern whose variables are all assigned."""
+        for pattern in query.patterns:
+            subject = assignment.get(pattern.subject, pattern.subject) if isinstance(pattern.subject, Variable) else pattern.subject
+            obj = assignment.get(pattern.object, pattern.object) if isinstance(pattern.object, Variable) else pattern.object
+            if isinstance(subject, Variable) or isinstance(obj, Variable):
+                continue
+            if isinstance(subject, Literal):
+                return False
+            if not any(True for _ in self.store.triples(subject, pattern.predicate, obj)):
+                return False
+        return True
+
+    def _ground_holds(self, pattern: TriplePattern) -> bool:
+        subject, obj = pattern.subject, pattern.object
+        if isinstance(subject, Variable) or isinstance(obj, Variable) or isinstance(subject, Literal):
+            return False
+        return any(True for _ in self.store.triples(subject, pattern.predicate, obj))

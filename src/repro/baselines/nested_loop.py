@@ -1,0 +1,62 @@
+"""Naive nested-loop SPARQL evaluation.
+
+Patterns are evaluated in the order they appear in the query; each pattern
+is matched against the triple store under the bindings accumulated so far.
+No join reordering, no statistics, no structural pruning: this is the
+weakest competitor and the correctness oracle for the other engines (its
+evaluation strategy is simple enough to be obviously right).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..rdf.terms import Term
+from ..sparql.algebra import SelectQuery, TriplePattern, Variable
+from ..sparql.bindings import Binding
+from .base import BaselineEngine, Deadline
+
+__all__ = ["NestedLoopEngine"]
+
+
+class NestedLoopEngine(BaselineEngine):
+    """Triple-at-a-time nested-loop evaluation in textual pattern order."""
+
+    name = "NestedLoop"
+
+    def _evaluate(self, query: SelectQuery, deadline: Deadline) -> Iterator[Binding]:
+        yield from self._match(query.patterns, 0, {}, deadline)
+
+    def _match(
+        self,
+        patterns: list[TriplePattern],
+        index: int,
+        bindings: dict[Variable, Term],
+        deadline: Deadline,
+    ) -> Iterator[Binding]:
+        deadline.check()
+        if index == len(patterns):
+            yield Binding(bindings)
+            return
+        pattern = patterns[index]
+        subject = _resolve(pattern.subject, bindings)
+        obj = _resolve(pattern.object, bindings)
+        lookup_subject = None if isinstance(subject, Variable) else subject
+        lookup_object = None if isinstance(obj, Variable) else obj
+        for triple in self.store.triples(lookup_subject, pattern.predicate, lookup_object):
+            deadline.check()
+            extended = dict(bindings)
+            if isinstance(subject, Variable):
+                extended[subject] = triple.subject
+            if isinstance(obj, Variable):
+                if obj in extended and extended[obj] != triple.object:
+                    continue
+                extended[obj] = triple.object
+            yield from self._match(patterns, index + 1, extended, deadline)
+
+
+def _resolve(term, bindings: dict[Variable, Term]):
+    """Substitute a variable by its binding when one exists."""
+    if isinstance(term, Variable) and term in bindings:
+        return bindings[term]
+    return term

@@ -1,0 +1,36 @@
+"""Benchmark harness: workload runner, experiment definitions and reporting."""
+
+from .experiments import (
+    DATASET_BUILDERS,
+    DEFAULT_QUERY_SIZES,
+    ExperimentScale,
+    FigureResult,
+    build_dataset,
+    build_engines,
+    figure_experiment,
+    table1_complex_queries,
+    table4_dataset_statistics,
+    table5_offline_stage,
+)
+from .reporting import format_figure_series, format_table, format_workload_summary
+from .runner import QueryOutcome, WorkloadResult, run_query, run_workload
+
+__all__ = [
+    "DATASET_BUILDERS",
+    "DEFAULT_QUERY_SIZES",
+    "ExperimentScale",
+    "FigureResult",
+    "build_dataset",
+    "build_engines",
+    "figure_experiment",
+    "table1_complex_queries",
+    "table4_dataset_statistics",
+    "table5_offline_stage",
+    "QueryOutcome",
+    "WorkloadResult",
+    "run_query",
+    "run_workload",
+    "format_table",
+    "format_figure_series",
+    "format_workload_summary",
+]

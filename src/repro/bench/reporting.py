@@ -1,0 +1,90 @@
+"""Plain-text rendering of the evaluation tables and figure series.
+
+The paper's figures plot average query time and the percentage of
+unanswered queries against the query size; here the same series are printed
+as text tables (one row per query size, one column per engine), which keeps
+the harness dependency-free while making "who wins and where" obvious.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .runner import WorkloadResult
+
+__all__ = ["format_table", "format_figure_series", "format_workload_summary"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None) -> str:
+    """Render a simple ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+    fmt = " | ".join(f"{{:<{w}}}" for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt.format(*headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt.format(*row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if cell is None:
+        return "n/a"
+    if isinstance(cell, float):
+        return f"{cell:.4f}" if cell < 100 else f"{cell:.1f}"
+    return str(cell)
+
+
+def format_figure_series(
+    series: Mapping[int, Mapping[str, WorkloadResult]],
+    metric: str,
+    title: str,
+) -> str:
+    """Render one panel of a figure: ``metric`` per engine, one row per query size.
+
+    ``metric`` is ``"time"`` (average seconds over answered queries) or
+    ``"unanswered"`` (percentage of unanswered queries).
+    """
+    if metric not in ("time", "unanswered"):
+        raise ValueError(f"unknown metric {metric!r}")
+    sizes = sorted(series)
+    engines: list[str] = []
+    for per_engine in series.values():
+        for name in per_engine:
+            if name not in engines:
+                engines.append(name)
+    headers = ["size"] + engines
+    rows = []
+    for size in sizes:
+        row: list[object] = [size]
+        for engine in engines:
+            result = series[size].get(engine)
+            if result is None:
+                row.append(None)
+            elif metric == "time":
+                row.append(result.average_seconds)
+            else:
+                row.append(result.unanswered_percentage)
+        rows.append(row)
+    unit = "avg seconds (answered only)" if metric == "time" else "% unanswered"
+    return format_table(headers, rows, title=f"{title} — {unit}")
+
+
+def format_workload_summary(results: Mapping[str, WorkloadResult], title: str) -> str:
+    """Render one workload run: average time, robustness and row counts per engine."""
+    headers = ["engine", "avg seconds", "% unanswered", "answered", "total rows"]
+    rows = [
+        [
+            name,
+            result.average_seconds,
+            result.unanswered_percentage,
+            f"{len(result.answered)}/{len(result.outcomes)}",
+            result.total_rows,
+        ]
+        for name, result in results.items()
+    ]
+    return format_table(headers, rows, title=title)

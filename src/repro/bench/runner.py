@@ -1,0 +1,107 @@
+"""Workload runner: timing, timeout accounting and robustness metrics.
+
+The paper evaluates every engine on the same workloads with a fixed time
+budget per query (60 seconds there); queries that do not finish in time are
+*unanswered* and excluded from the average time (Section 7.2).  This module
+implements exactly that protocol for any engine exposing
+``query(query, timeout_seconds=...)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from ..datasets.workload import GeneratedQuery
+from ..errors import QueryTimeout
+from ..sparql.algebra import SelectQuery
+
+__all__ = ["QueryEngine", "QueryOutcome", "WorkloadResult", "run_query", "run_workload"]
+
+
+class QueryEngine(Protocol):
+    """Anything that can answer a SPARQL SELECT query under a timeout."""
+
+    name: str
+
+    def query(self, query, timeout_seconds: float | None = None):  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class QueryOutcome:
+    """Result of running one query on one engine."""
+
+    engine: str
+    answered: bool
+    seconds: float
+    rows: int
+    error: str | None = None
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregate of one engine over one workload (one point of a figure)."""
+
+    engine: str
+    outcomes: list[QueryOutcome] = field(default_factory=list)
+
+    @property
+    def answered(self) -> list[QueryOutcome]:
+        """Outcomes that finished within the time budget."""
+        return [o for o in self.outcomes if o.answered]
+
+    @property
+    def average_seconds(self) -> float | None:
+        """Average time over answered queries (None when nothing was answered)."""
+        answered = self.answered
+        if not answered:
+            return None
+        return sum(o.seconds for o in answered) / len(answered)
+
+    @property
+    def unanswered_percentage(self) -> float:
+        """Percentage of queries not answered within the time budget."""
+        if not self.outcomes:
+            return 0.0
+        return 100.0 * (len(self.outcomes) - len(self.answered)) / len(self.outcomes)
+
+    @property
+    def total_rows(self) -> int:
+        """Total number of result rows over answered queries."""
+        return sum(o.rows for o in self.answered)
+
+
+def run_query(
+    engine: QueryEngine, query: SelectQuery | str, timeout_seconds: float | None
+) -> QueryOutcome:
+    """Run one query on one engine, enforcing the per-query time budget."""
+    start = time.perf_counter()
+    try:
+        result = engine.query(query, timeout_seconds=timeout_seconds)
+        elapsed = time.perf_counter() - start
+        if timeout_seconds is not None and elapsed > timeout_seconds:
+            return QueryOutcome(engine.name, answered=False, seconds=elapsed, rows=0, error="timeout")
+        return QueryOutcome(engine.name, answered=True, seconds=elapsed, rows=len(result))
+    except QueryTimeout:
+        elapsed = time.perf_counter() - start
+        return QueryOutcome(engine.name, answered=False, seconds=elapsed, rows=0, error="timeout")
+    except RecursionError:
+        elapsed = time.perf_counter() - start
+        return QueryOutcome(engine.name, answered=False, seconds=elapsed, rows=0, error="recursion")
+
+
+def run_workload(
+    engines: Sequence[QueryEngine],
+    queries: Sequence[GeneratedQuery | SelectQuery | str],
+    timeout_seconds: float | None,
+) -> dict[str, WorkloadResult]:
+    """Run every query on every engine; return per-engine aggregates."""
+    results = {engine.name: WorkloadResult(engine.name) for engine in engines}
+    for item in queries:
+        query = item.query if isinstance(item, GeneratedQuery) else item
+        for engine in engines:
+            outcome = run_query(engine, query, timeout_seconds)
+            results[engine.name].outcomes.append(outcome)
+    return results

@@ -1,0 +1,19 @@
+"""Synthetic benchmark datasets and query workload generation (Section 7)."""
+
+from .base import ONTOLOGY, RESOURCE, DatasetGenerator
+from .dbpedia import DbpediaGenerator
+from .lubm import LubmGenerator
+from .workload import GeneratedQuery, WorkloadConfig, WorkloadGenerator
+from .yago import YagoGenerator
+
+__all__ = [
+    "DatasetGenerator",
+    "RESOURCE",
+    "ONTOLOGY",
+    "LubmGenerator",
+    "YagoGenerator",
+    "DbpediaGenerator",
+    "WorkloadGenerator",
+    "WorkloadConfig",
+    "GeneratedQuery",
+]

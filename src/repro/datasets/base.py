@@ -1,0 +1,76 @@
+"""Shared scaffolding for the synthetic benchmark dataset generators.
+
+The paper evaluates on DBPEDIA, YAGO and LUBM100 (Table 4).  Those dumps
+are tens of millions of triples and are not redistributable here, so each
+generator reproduces the *shape* of its dataset at a configurable,
+laptop-friendly scale: the number of distinct predicates, the ratio of
+literal-valued triples (vertex attributes in the multigraph) and the
+skewed in-degree of hub resources are the properties AMbER's evaluation
+depends on, and they are preserved.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from ..rdf.dataset import TripleStore
+from ..rdf.namespace import Namespace
+from ..rdf.terms import IRI, Literal, Triple
+
+__all__ = ["DatasetGenerator", "RESOURCE", "ONTOLOGY"]
+
+#: Namespace used for generated resources.
+RESOURCE = Namespace("http://repro.example.org/resource/")
+#: Namespace used for generated predicates and classes.
+ONTOLOGY = Namespace("http://repro.example.org/ontology/")
+
+
+class DatasetGenerator(ABC):
+    """Base class: deterministic, seeded triple generation."""
+
+    #: Dataset name used in benchmark reports (e.g. ``"LUBM-like"``).
+    name = "dataset"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    @abstractmethod
+    def generate(self) -> list[Triple]:
+        """Produce the full list of triples for this dataset instance."""
+
+    def store(self) -> TripleStore:
+        """Generate the dataset and load it into a :class:`TripleStore`."""
+        return TripleStore(self.generate())
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by the concrete generators
+    # ------------------------------------------------------------------ #
+    def _resource(self, kind: str, index: int) -> IRI:
+        """Mint a resource IRI such as ``.../resource/City12``."""
+        return RESOURCE.term(f"{kind}{index}")
+
+    def _predicate(self, local: str) -> IRI:
+        """Mint a predicate IRI in the ontology namespace."""
+        return ONTOLOGY.term(local)
+
+    def _literal(self, value: object) -> Literal:
+        """Wrap a Python value into a plain literal."""
+        return Literal(str(value))
+
+    def _choice(self, population: list):
+        """Seeded random choice."""
+        return self._rng.choice(population)
+
+    def _skewed_index(self, size: int, exponent: float = 1.5) -> int:
+        """Return an index in ``[0, size)`` with a Zipf-like skew towards 0.
+
+        Used to give hub resources (capitals, popular entities, large
+        departments) a realistically heavy in-degree.
+        """
+        if size <= 1:
+            return 0
+        value = self._rng.paretovariate(exponent)
+        index = int(value) - 1
+        return min(index, size - 1)

@@ -1,0 +1,119 @@
+"""LUBM-like synthetic dataset generator.
+
+LUBM (the Lehigh University Benchmark) models universities, departments,
+faculty, students, courses and publications with a very small predicate
+vocabulary (13 distinct predicates in the paper's LUBM100 instance,
+Table 4).  The generator reproduces that schema: the ``scale`` parameter is
+the number of universities, mirroring LUBM's scaling factor.
+"""
+
+from __future__ import annotations
+
+from ..rdf.namespace import RDF_TYPE
+from ..rdf.terms import IRI, Triple
+from .base import DatasetGenerator, ONTOLOGY
+
+__all__ = ["LubmGenerator"]
+
+
+class LubmGenerator(DatasetGenerator):
+    """Generate a university-domain dataset with LUBM's 13-predicate shape."""
+
+    name = "LUBM-like"
+
+    def __init__(
+        self,
+        scale: int = 2,
+        departments_per_university: int = 4,
+        professors_per_department: int = 6,
+        students_per_department: int = 25,
+        courses_per_department: int = 8,
+        publications_per_professor: int = 3,
+        seed: int = 0,
+    ):
+        super().__init__(seed)
+        self.scale = scale
+        self.departments_per_university = departments_per_university
+        self.professors_per_department = professors_per_department
+        self.students_per_department = students_per_department
+        self.courses_per_department = courses_per_department
+        self.publications_per_professor = publications_per_professor
+
+        self.sub_organization_of = self._predicate("subOrganizationOf")
+        self.works_for = self._predicate("worksFor")
+        self.member_of = self._predicate("memberOf")
+        self.head_of = self._predicate("headOf")
+        self.advisor = self._predicate("advisor")
+        self.teacher_of = self._predicate("teacherOf")
+        self.takes_course = self._predicate("takesCourse")
+        self.publication_author = self._predicate("publicationAuthor")
+        self.degree_from = self._predicate("undergraduateDegreeFrom")
+        self.name = self._predicate("name")
+        self.email = self._predicate("emailAddress")
+        self.telephone = self._predicate("telephone")
+
+    def generate(self) -> list[Triple]:
+        triples: list[Triple] = []
+        universities: list[IRI] = []
+        entity_counter = {"department": 0, "professor": 0, "student": 0, "course": 0, "publication": 0}
+
+        for u in range(self.scale):
+            university = self._resource("University", u)
+            universities.append(university)
+            triples.append(Triple(university, RDF_TYPE, ONTOLOGY.University))
+            triples.append(Triple(university, self.name, self._literal(f"University {u}")))
+
+            for _ in range(self.departments_per_university):
+                d = entity_counter["department"]
+                entity_counter["department"] += 1
+                department = self._resource("Department", d)
+                triples.append(Triple(department, RDF_TYPE, ONTOLOGY.Department))
+                triples.append(Triple(department, self.sub_organization_of, university))
+                triples.append(Triple(department, self.name, self._literal(f"Department {d}")))
+
+                professors = []
+                courses = []
+                for _ in range(self.courses_per_department):
+                    c = entity_counter["course"]
+                    entity_counter["course"] += 1
+                    course = self._resource("Course", c)
+                    courses.append(course)
+                    triples.append(Triple(course, RDF_TYPE, ONTOLOGY.Course))
+                    triples.append(Triple(course, self.name, self._literal(f"Course {c}")))
+
+                for _ in range(self.professors_per_department):
+                    p = entity_counter["professor"]
+                    entity_counter["professor"] += 1
+                    professor = self._resource("Professor", p)
+                    professors.append(professor)
+                    triples.append(Triple(professor, RDF_TYPE, ONTOLOGY.Professor))
+                    triples.append(Triple(professor, self.works_for, department))
+                    triples.append(Triple(professor, self.degree_from, self._choice(universities)))
+                    triples.append(Triple(professor, self.name, self._literal(f"Professor {p}")))
+                    triples.append(Triple(professor, self.email, self._literal(f"prof{p}@example.org")))
+                    triples.append(Triple(professor, self.telephone, self._literal(f"+1-555-{p:06d}")))
+                    for course in self._rng.sample(courses, k=min(2, len(courses))):
+                        triples.append(Triple(professor, self.teacher_of, course))
+                    for _ in range(self.publications_per_professor):
+                        b = entity_counter["publication"]
+                        entity_counter["publication"] += 1
+                        publication = self._resource("Publication", b)
+                        triples.append(Triple(publication, RDF_TYPE, ONTOLOGY.Publication))
+                        triples.append(Triple(publication, self.publication_author, professor))
+                        triples.append(Triple(publication, self.name, self._literal(f"Publication {b}")))
+
+                triples.append(Triple(professors[0], self.head_of, department))
+
+                for _ in range(self.students_per_department):
+                    s = entity_counter["student"]
+                    entity_counter["student"] += 1
+                    student = self._resource("Student", s)
+                    triples.append(Triple(student, RDF_TYPE, ONTOLOGY.Student))
+                    triples.append(Triple(student, self.member_of, department))
+                    triples.append(Triple(student, self.advisor, self._choice(professors)))
+                    triples.append(Triple(student, self.name, self._literal(f"Student {s}")))
+                    triples.append(Triple(student, self.email, self._literal(f"student{s}@example.org")))
+                    for course in self._rng.sample(courses, k=min(3, len(courses))):
+                        triples.append(Triple(student, self.takes_course, course))
+
+        return triples

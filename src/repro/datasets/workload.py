@@ -1,0 +1,232 @@
+"""SPARQL query workload generator (Section 7.2 of the paper).
+
+Two query shapes are generated from a dataset:
+
+* **star-shaped** queries of size ``k``: a random *initial entity* with at
+  least ``k`` incident triples becomes the centre; ``k`` of its incident
+  triples form the star.
+* **complex-shaped** queries of size ``k``: starting from the initial
+  entity, the generator navigates the neighbourhood through predicate
+  links, accumulating triples until the query has ``k`` triple patterns.
+
+Following the paper, some object literals and constant IRIs are *injected*
+(kept as constants); every other resource is replaced by a variable.
+Because the triples are sampled from the data, every generated query has at
+least one answer by construction — the difficulty comes from its size and
+structure, not from emptiness.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..rdf.dataset import TripleStore
+from ..rdf.terms import IRI, BlankNode, Literal, Term, Triple
+from ..sparql.algebra import SelectQuery, TriplePattern, Variable
+
+__all__ = ["WorkloadConfig", "GeneratedQuery", "WorkloadGenerator"]
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs controlling query generation.
+
+    The defaults inject constants aggressively enough that generated
+    queries stay *selective* (bounded result sets), which matches the
+    paper's setup: the injected literals and constant IRIs provide
+    selectivity while the size and structure provide the difficulty.
+    """
+
+    #: Probability that a non-central resource is kept as a constant IRI.
+    constant_iri_probability: float = 0.3
+    #: Probability that a leaf resource appearing as the *subject* of a
+    #: pattern (an in-link towards the rest of the query) is kept constant.
+    #: In-links around popular entities are the unselective direction — real
+    #: query logs overwhelmingly name them — so the default is high, which
+    #: keeps the generated queries' result sets bounded.
+    in_constant_probability: float = 0.9
+    #: Probability that a literal-valued incident triple is included when sampling.
+    literal_probability: float = 0.4
+    #: Best-effort cap on the number of distinct variables per query; once
+    #: reached, further *leaf* resources are kept as constants (interior
+    #: resources always stay variables to keep the query connected).
+    #: ``None`` disables the cap.
+    max_variables: int | None = 7
+    #: Maximum attempts at finding a suitable initial entity before giving up.
+    max_attempts: int = 200
+
+
+@dataclass
+class GeneratedQuery:
+    """One generated query, with its provenance for debugging/reporting."""
+
+    query: SelectQuery
+    shape: str
+    size: int
+    seed_entity: IRI | BlankNode
+    source_triples: list[Triple] = field(default_factory=list)
+
+
+class WorkloadGenerator:
+    """Generates star-shaped and complex-shaped query workloads from a dataset."""
+
+    def __init__(self, store: TripleStore, seed: int = 0, config: WorkloadConfig | None = None):
+        self.store = store
+        self.config = config or WorkloadConfig()
+        self._rng = random.Random(seed)
+        # Incidence lists: for every resource, the triples it participates in.
+        self._incident: dict[Term, list[Triple]] = defaultdict(list)
+        for triple in store:
+            self._incident[triple.subject].append(triple)
+            if isinstance(triple.object, (IRI, BlankNode)):
+                self._incident[triple.object].append(triple)
+        self._entities = sorted(self._incident, key=lambda term: str(term))
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def star_query(self, size: int) -> GeneratedQuery:
+        """Generate one star-shaped query with ``size`` triple patterns."""
+        hubs = [entity for entity in self._entities if len(self._incident[entity]) >= size]
+        if not hubs:
+            raise ValueError(
+                f"no entity has at least {size} incident triples; "
+                "increase the dataset scale or lower the query size"
+            )
+        entity = self._rng.choice(hubs)
+        chosen = self._rng.sample(self._incident[entity], k=size)
+        return self._assemble(chosen, shape="star", size=size, seed_entity=entity)
+
+    def complex_query(self, size: int) -> GeneratedQuery:
+        """Generate one complex-shaped query with ``size`` triple patterns."""
+        for _ in range(self.config.max_attempts):
+            entity = self._rng.choice(self._entities)
+            chosen = self._walk(entity, size)
+            if len(chosen) == size:
+                return self._assemble(chosen, shape="complex", size=size, seed_entity=entity)
+        raise ValueError(
+            f"could not assemble a connected query of size {size}; "
+            "increase the dataset scale or lower the query size"
+        )
+
+    def workload(self, shape: str, size: int, count: int) -> list[GeneratedQuery]:
+        """Generate ``count`` queries of the given shape and size."""
+        if shape == "star":
+            return [self.star_query(size) for _ in range(count)]
+        if shape == "complex":
+            return [self.complex_query(size) for _ in range(count)]
+        raise ValueError(f"unknown query shape {shape!r} (expected 'star' or 'complex')")
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _walk(self, seed_entity: Term, size: int) -> list[Triple]:
+        """Navigate the neighbourhood of ``seed_entity`` collecting triples."""
+        chosen: list[Triple] = []
+        chosen_set: set[Triple] = set()
+        visited: list[Term] = [seed_entity]
+        stalled = 0
+        while len(chosen) < size and stalled < 4 * size:
+            anchor = self._rng.choice(visited)
+            incident = self._incident.get(anchor, ())
+            if not incident:
+                stalled += 1
+                continue
+            triple = self._rng.choice(incident)
+            if triple in chosen_set:
+                stalled += 1
+                continue
+            if isinstance(triple.object, Literal) and self._rng.random() > self.config.literal_probability:
+                stalled += 1
+                continue
+            chosen.append(triple)
+            chosen_set.add(triple)
+            stalled = 0
+            for term in (triple.subject, triple.object):
+                if isinstance(term, (IRI, BlankNode)) and term not in visited:
+                    visited.append(term)
+        return chosen
+
+    def _assemble(
+        self, triples: list[Triple], shape: str, size: int, seed_entity: Term
+    ) -> GeneratedQuery:
+        """Replace resources by variables (injecting some constants) and build the query."""
+        variable_of: dict[Term, Variable] = {}
+        constants: set[Term] = set()
+        # Only *leaf* resources (appearing in exactly one sampled triple) may
+        # become constants: a constant on an interior resource would split the
+        # query's variable structure into disconnected components, which the
+        # paper's queries never exhibit.
+        degree: dict[Term, int] = defaultdict(int)
+        for triple in triples:
+            degree[triple.subject] += 1
+            if not isinstance(triple.object, Literal):
+                degree[triple.object] += 1
+        # (predicate, direction-relative-to-seed) pairs already bound to a
+        # variable: a second occurrence of the same pair around the same hub
+        # would multiply the candidate set of every further satellite, so
+        # repeats are kept as constants.  This mirrors real infobox stars,
+        # where repeated predicates point at a few known entities.
+        seen_variable_edges: set[tuple[IRI, str]] = set()
+
+        def map_resource(
+            term: Term, *, constant_probability: float, prefer_constant: bool = False
+        ) -> Variable | IRI:
+            if term in variable_of:
+                return variable_of[term]
+            if term in constants:
+                return term  # type: ignore[return-value]
+            allow_constant = term != seed_entity and isinstance(term, IRI) and degree[term] == 1
+            at_variable_cap = (
+                self.config.max_variables is not None
+                and len(variable_of) >= self.config.max_variables
+            )
+            keep_constant = (
+                prefer_constant
+                or at_variable_cap
+                or self._rng.random() < constant_probability
+            )
+            if allow_constant and keep_constant:
+                constants.add(term)
+                return term
+            variable = Variable(f"X{len(variable_of)}")
+            variable_of[term] = variable
+            return variable
+
+        patterns: list[TriplePattern] = []
+        for triple in triples:
+            seed_is_subject = triple.subject == seed_entity
+            edge_key = (triple.predicate, "out" if seed_is_subject else "in")
+            repeat = edge_key in seen_variable_edges
+            # The seed entity always becomes a variable: it is the unknown the
+            # query is "about"; the injected constants provide selectivity.
+            subject = map_resource(
+                triple.subject,
+                constant_probability=self.config.in_constant_probability,
+                prefer_constant=repeat and not seed_is_subject,
+            )
+            if isinstance(triple.object, Literal):
+                obj: Variable | IRI | Literal = triple.object
+            else:
+                obj = map_resource(
+                    triple.object,
+                    constant_probability=self.config.constant_iri_probability,
+                    prefer_constant=repeat and triple.object != seed_entity,
+                )
+            if isinstance(subject, Variable) and isinstance(obj, Variable) and not repeat:
+                seen_variable_edges.add(edge_key)
+            patterns.append(TriplePattern(subject, triple.predicate, obj))
+
+        # Guarantee at least one variable so the query is a real SELECT.
+        if not variable_of:
+            first = triples[0]
+            variable = Variable("X0")
+            variable_of[first.subject] = variable
+            patterns[0] = TriplePattern(variable, first.predicate, patterns[0].object)
+
+        query = SelectQuery(patterns=patterns, projection=sorted(variable_of.values(), key=lambda v: v.name))
+        return GeneratedQuery(
+            query=query, shape=shape, size=size, seed_entity=seed_entity, source_triples=list(triples)
+        )

@@ -1,0 +1,172 @@
+"""YAGO-like synthetic dataset generator.
+
+YAGO combines Wikipedia facts with the WordNet taxonomy; the paper's
+snapshot has 44 distinct predicates (Table 4) over people, places,
+organisations and creative works, with strongly skewed in-degrees on
+popular places.  The generator reproduces that profile: a fixed vocabulary
+of 44 predicates (34 resource-valued, 10 literal-valued) and Zipf-skewed
+links towards hub cities and countries.
+"""
+
+from __future__ import annotations
+
+from ..rdf.namespace import RDF_TYPE
+from ..rdf.terms import IRI, Triple
+from .base import DatasetGenerator, ONTOLOGY
+
+__all__ = ["YagoGenerator"]
+
+#: Resource-valued predicates (become multigraph edge types).
+_RELATION_NAMES = [
+    "wasBornIn", "diedIn", "livesIn", "isCitizenOf", "isMarriedTo", "hasChild",
+    "graduatedFrom", "worksAt", "isAffiliatedTo", "playsFor", "actedIn", "directed",
+    "created", "wroteMusicFor", "isLeaderOf", "isLocatedIn", "hasCapital",
+    "hasNeighbor", "dealsWith", "participatedIn", "hasWonPrize", "influences",
+    "isInterestedIn", "owns", "isKnownFor", "hasAcademicAdvisor", "edited",
+    "isPoliticianOf", "happenedIn", "isConnectedTo", "exports", "imports",
+    "hasOfficialLanguage", "isPartOf",
+]
+
+#: Literal-valued predicates (become multigraph vertex attributes).
+_ATTRIBUTE_NAMES = [
+    "hasName", "wasBornOnDate", "diedOnDate", "hasPopulation", "hasArea",
+    "hasMotto", "hasHeight", "hasBudget", "hasDuration", "hasISBN",
+]
+
+
+class YagoGenerator(DatasetGenerator):
+    """Generate an encyclopedic fact graph with YAGO's 44-predicate shape."""
+
+    name = "YAGO-like"
+
+    def __init__(
+        self,
+        persons: int = 600,
+        cities: int = 80,
+        countries: int = 20,
+        organizations: int = 60,
+        works: int = 150,
+        events: int = 40,
+        facts_per_person: int = 6,
+        famous_fraction: float = 0.05,
+        famous_extra_facts: int = 40,
+        seed: int = 0,
+    ):
+        super().__init__(seed)
+        self.persons = persons
+        self.cities = cities
+        self.countries = countries
+        self.organizations = organizations
+        self.works = works
+        self.events = events
+        self.facts_per_person = facts_per_person
+        #: Fraction of persons with a rich fact profile (famous people in YAGO
+        #: accumulate dozens of facts); they anchor the large star queries.
+        self.famous_fraction = famous_fraction
+        self.famous_extra_facts = famous_extra_facts
+        self.relations = {name: self._predicate(name) for name in _RELATION_NAMES}
+        self.attributes = {name: self._predicate(name) for name in _ATTRIBUTE_NAMES}
+
+    def generate(self) -> list[Triple]:
+        triples: list[Triple] = []
+        rel = self.relations
+        att = self.attributes
+
+        countries = [self._resource("Country", i) for i in range(self.countries)]
+        cities = [self._resource("City", i) for i in range(self.cities)]
+        organizations = [self._resource("Organization", i) for i in range(self.organizations)]
+        works = [self._resource("Work", i) for i in range(self.works)]
+        events = [self._resource("Event", i) for i in range(self.events)]
+        persons = [self._resource("Person", i) for i in range(self.persons)]
+
+        for i, country in enumerate(countries):
+            triples.append(Triple(country, RDF_TYPE, ONTOLOGY.Country))
+            triples.append(Triple(country, att["hasName"], self._literal(f"Country {i}")))
+            triples.append(Triple(country, att["hasPopulation"], self._literal(1_000_000 + i * 37_000)))
+            triples.append(Triple(country, att["hasArea"], self._literal(10_000 + i * 517)))
+            capital = cities[self._skewed_index(len(cities))]
+            triples.append(Triple(country, rel["hasCapital"], capital))
+            triples.append(Triple(country, rel["hasOfficialLanguage"], self._skewed(countries, exclude=country)))
+            triples.append(Triple(country, rel["hasNeighbor"], self._skewed(countries, exclude=country)))
+            triples.append(Triple(country, rel["dealsWith"], self._skewed(countries, exclude=country)))
+            triples.append(Triple(country, rel["exports"], self._skewed(works)))
+            triples.append(Triple(country, rel["imports"], self._skewed(works)))
+
+        for i, city in enumerate(cities):
+            triples.append(Triple(city, RDF_TYPE, ONTOLOGY.City))
+            triples.append(Triple(city, att["hasName"], self._literal(f"City {i}")))
+            triples.append(Triple(city, att["hasPopulation"], self._literal(50_000 + i * 13_000)))
+            triples.append(Triple(city, rel["isLocatedIn"], self._skewed(countries)))
+            triples.append(Triple(city, rel["isConnectedTo"], self._skewed(cities, exclude=city)))
+
+        for i, organization in enumerate(organizations):
+            triples.append(Triple(organization, RDF_TYPE, ONTOLOGY.Organization))
+            triples.append(Triple(organization, att["hasName"], self._literal(f"Organization {i}")))
+            triples.append(Triple(organization, att["hasBudget"], self._literal(1_000_000 + i * 99_000)))
+            triples.append(Triple(organization, rel["isLocatedIn"], self._skewed(cities)))
+
+        for i, work in enumerate(works):
+            triples.append(Triple(work, RDF_TYPE, ONTOLOGY.CreativeWork))
+            triples.append(Triple(work, att["hasName"], self._literal(f"Work {i}")))
+            triples.append(Triple(work, att["hasDuration"], self._literal(60 + i % 120)))
+            if i % 5 == 0:
+                triples.append(Triple(work, att["hasISBN"], self._literal(f"978-{i:09d}")))
+            triples.append(Triple(work, rel["happenedIn"], self._skewed(cities)))
+
+        for i, event in enumerate(events):
+            triples.append(Triple(event, RDF_TYPE, ONTOLOGY.Event))
+            triples.append(Triple(event, att["hasName"], self._literal(f"Event {i}")))
+            triples.append(Triple(event, rel["happenedIn"], self._skewed(cities)))
+
+        person_relations = [
+            ("wasBornIn", cities), ("diedIn", cities), ("livesIn", cities),
+            ("isCitizenOf", countries), ("graduatedFrom", organizations),
+            ("worksAt", organizations), ("isAffiliatedTo", organizations),
+            ("playsFor", organizations), ("actedIn", works), ("directed", works),
+            ("created", works), ("wroteMusicFor", works), ("edited", works),
+            ("isLeaderOf", organizations), ("isPoliticianOf", countries),
+            ("participatedIn", events), ("hasWonPrize", works),
+            ("isKnownFor", works), ("owns", organizations), ("isInterestedIn", works),
+        ]
+        for i, person in enumerate(persons):
+            triples.append(Triple(person, RDF_TYPE, ONTOLOGY.Person))
+            triples.append(Triple(person, att["hasName"], self._literal(f"Person {i}")))
+            triples.append(Triple(person, att["wasBornOnDate"], self._literal(f"19{i % 90 + 10}-01-01")))
+            if i % 3 == 0:
+                triples.append(Triple(person, att["diedOnDate"], self._literal(f"20{i % 20:02d}-01-01")))
+            if i % 4 == 0:
+                triples.append(Triple(person, att["hasHeight"], self._literal(150 + i % 50)))
+            triples.append(Triple(person, rel["wasBornIn"], self._skewed(cities)))
+            triples.append(Triple(person, rel["isCitizenOf"], self._skewed(countries)))
+            fact_budget = self.facts_per_person
+            if self._rng.random() < self.famous_fraction:
+                fact_budget += self.famous_extra_facts
+                triples.append(Triple(person, att["hasMotto"], self._literal(f"Motto of person {i}")))
+                triples.append(Triple(person, att["hasBudget"], self._literal(10_000 + i)))
+            for _ in range(fact_budget):
+                relation_name, targets = self._choice(person_relations)
+                triples.append(Triple(person, rel[relation_name], self._skewed(targets)))
+            if i % 2 == 0:
+                spouse = persons[(i + 1) % len(persons)]
+                triples.append(Triple(person, rel["isMarriedTo"], spouse))
+            if i % 3 == 0:
+                child = persons[(i + 7) % len(persons)]
+                if child != person:
+                    triples.append(Triple(person, rel["hasChild"], child))
+            if i % 5 == 0:
+                advisor = persons[(i + 13) % len(persons)]
+                if advisor != person:
+                    triples.append(Triple(person, rel["hasAcademicAdvisor"], advisor))
+            if i % 7 == 0:
+                influenced = persons[(i + 29) % len(persons)]
+                if influenced != person:
+                    triples.append(Triple(person, rel["influences"], influenced))
+
+        return triples
+
+    def _skewed(self, population: list[IRI], exclude: IRI | None = None) -> IRI:
+        """Pick a population member with Zipf-like skew, avoiding ``exclude``."""
+        candidate = population[self._skewed_index(len(population))]
+        if exclude is not None and candidate == exclude:
+            candidate = population[(population.index(candidate) + 1) % len(population)]
+        return candidate

@@ -1,0 +1,22 @@
+"""Exceptions shared by every query engine in the library."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "QueryTimeout", "UnsupportedQueryError"]
+
+
+class ReproError(Exception):
+    """Base class for library-specific errors."""
+
+
+class QueryTimeout(ReproError):
+    """Raised when a query exceeds its evaluation deadline.
+
+    The benchmark harness (Section 7.2 of the paper) treats a timed-out
+    query as *unanswered*: it contributes to the robustness metric but not
+    to the average time.
+    """
+
+
+class UnsupportedQueryError(ReproError):
+    """Raised when a query falls outside the supported SELECT/WHERE fragment."""

@@ -1,0 +1,69 @@
+"""Attribute index ``A`` (Section 4.1): an inverted list per vertex attribute.
+
+For every attribute id ``a`` the index stores the set of data vertices that
+carry ``a``.  Candidate solutions for a query vertex with attribute set
+``u.A`` are obtained by intersecting the inverted lists of every attribute
+in ``u.A``.
+"""
+
+from __future__ import annotations
+
+from ..multigraph.graph import Multigraph
+
+__all__ = ["AttributeIndex"]
+
+
+class AttributeIndex:
+    """Inverted list from attribute id to the set of data vertices carrying it."""
+
+    def __init__(self, graph: Multigraph | None = None):
+        self._postings: dict[int, set[int]] = {}
+        if graph is not None:
+            self.build(graph)
+
+    def build(self, graph: Multigraph) -> "AttributeIndex":
+        """(Re)build the inverted lists from the data multigraph."""
+        self._postings.clear()
+        for vertex in graph.vertices():
+            for attribute in graph.attributes(vertex):
+                self._postings.setdefault(attribute, set()).add(vertex)
+        return self
+
+    def add(self, vertex: int, attribute: int) -> None:
+        """Incrementally register ``attribute`` on ``vertex``."""
+        self._postings.setdefault(attribute, set()).add(vertex)
+
+    def vertices_with(self, attribute: int) -> frozenset[int]:
+        """Return the vertices carrying ``attribute`` (empty when unknown)."""
+        return frozenset(self._postings.get(attribute, ()))
+
+    def candidates(self, attributes: set[int] | frozenset[int]) -> set[int]:
+        """Return data vertices carrying *all* attributes in ``attributes``.
+
+        An empty attribute set is a caller error because the null attribute
+        ``{-}`` imposes no constraint; callers should not query the index in
+        that case (Algorithm 1, line 1).
+        """
+        if not attributes:
+            raise ValueError("attribute candidate lookup requires a non-empty attribute set")
+        postings = sorted((self._postings.get(a, set()) for a in attributes), key=len)
+        first = postings[0]
+        if not first:
+            return set()
+        result = set(first)
+        for posting in postings[1:]:
+            result &= posting
+            if not result:
+                break
+        return result
+
+    def attribute_count(self) -> int:
+        """Return the number of distinct attributes indexed."""
+        return len(self._postings)
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def memory_items(self) -> int:
+        """Return the total number of postings (for Table-5 style size reporting)."""
+        return sum(len(vertices) for vertices in self._postings.values())

@@ -1,0 +1,206 @@
+"""A bulk-loaded R-tree over fixed-dimension points supporting dominance queries.
+
+The paper stores every data-vertex synopsis as a leaf of an R-tree and
+retrieves candidate vertices whose synopsis rectangle *contains* the query
+synopsis rectangle (Section 4.2).  Because all rectangles are anchored at
+the origin, the containment test reduces to a per-field dominance test
+(``query[i] <= point[i]`` for all ``i``), which is what :meth:`RTree.dominating`
+implements: internal nodes are pruned whenever their upper bound is already
+below the query in some dimension.
+
+The tree is bulk-loaded with the Sort-Tile-Recursive (STR) algorithm, which
+produces well-packed nodes for the static offline index this engine needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = ["RTree", "RTreeNode"]
+
+DEFAULT_FANOUT = 16
+
+
+@dataclass
+class RTreeNode:
+    """One node of the R-tree.
+
+    Leaf nodes store ``entries`` as ``(point, payload)`` pairs; internal
+    nodes store ``children``.  ``lower``/``upper`` are the per-dimension
+    bounds of everything below this node.
+    """
+
+    lower: tuple[float, ...]
+    upper: tuple[float, ...]
+    children: list["RTreeNode"]
+    entries: list[tuple[tuple[float, ...], object]]
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+def _bounds(points: Sequence[tuple[float, ...]]) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    dims = len(points[0])
+    lower = tuple(min(p[d] for p in points) for d in range(dims))
+    upper = tuple(max(p[d] for p in points) for d in range(dims))
+    return lower, upper
+
+
+class RTree:
+    """Static R-tree over equal-length numeric points with attached payloads."""
+
+    def __init__(self, dimensions: int, fanout: int = DEFAULT_FANOUT):
+        if dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        self.dimensions = dimensions
+        self.fanout = fanout
+        self.root: RTreeNode | None = None
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Sequence[tuple[Sequence[float], object]],
+        dimensions: int,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> "RTree":
+        """Build an R-tree from ``(point, payload)`` pairs using STR packing."""
+        tree = cls(dimensions, fanout)
+        entries = [(tuple(float(x) for x in point), payload) for point, payload in items]
+        for point, _ in entries:
+            if len(point) != dimensions:
+                raise ValueError(f"point {point} does not have {dimensions} dimensions")
+        tree._size = len(entries)
+        if entries:
+            leaves = tree._pack_leaves(entries)
+            tree.root = tree._pack_upward(leaves)
+        return tree
+
+    def _pack_leaves(self, entries: list[tuple[tuple[float, ...], object]]) -> list[RTreeNode]:
+        groups = self._str_partition(entries, key=lambda item: item[0])
+        leaves = []
+        for group in groups:
+            lower, upper = _bounds([point for point, _ in group])
+            leaves.append(RTreeNode(lower=lower, upper=upper, children=[], entries=list(group)))
+        return leaves
+
+    def _pack_upward(self, nodes: list[RTreeNode]) -> RTreeNode:
+        while len(nodes) > 1:
+            groups = self._str_partition(nodes, key=lambda node: node.lower)
+            parents = []
+            for group in groups:
+                lower = tuple(min(child.lower[d] for child in group) for d in range(self.dimensions))
+                upper = tuple(max(child.upper[d] for child in group) for d in range(self.dimensions))
+                parents.append(RTreeNode(lower=lower, upper=upper, children=list(group), entries=[]))
+            nodes = parents
+        return nodes[0]
+
+    def _str_partition(self, items: list, key) -> list[list]:
+        """Sort-Tile-Recursive grouping of ``items`` into runs of ``fanout``."""
+        if len(items) <= self.fanout:
+            return [items]
+        # Recursively slice along each dimension in turn.
+        def split(block: list, dim: int) -> list[list]:
+            if len(block) <= self.fanout or dim >= self.dimensions:
+                return [block[i : i + self.fanout] for i in range(0, len(block), self.fanout)]
+            block = sorted(block, key=lambda item: key(item)[dim])
+            leaves_needed = math.ceil(len(block) / self.fanout)
+            slices = max(1, math.ceil(leaves_needed ** (1.0 / (self.dimensions - dim))))
+            slice_size = math.ceil(len(block) / slices)
+            groups: list[list] = []
+            for start in range(0, len(block), slice_size):
+                groups.extend(split(block[start : start + slice_size], dim + 1))
+            return groups
+
+        return split(list(items), 0)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    def dominating(self, query: Sequence[float]) -> Iterator[tuple[tuple[float, ...], object]]:
+        """Yield ``(point, payload)`` whose point dominates ``query`` in every dimension.
+
+        A subtree is pruned as soon as its per-dimension upper bound falls
+        below the query value, which is the R-tree traversal described in
+        the paper for synopsis containment.
+        """
+        if len(query) != self.dimensions:
+            raise ValueError(f"query must have {self.dimensions} dimensions")
+        if self.root is None:
+            return
+        query = tuple(float(x) for x in query)
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if any(node.upper[d] < query[d] for d in range(self.dimensions)):
+                continue
+            if node.is_leaf:
+                for point, payload in node.entries:
+                    if all(point[d] >= query[d] for d in range(self.dimensions)):
+                        yield point, payload
+            else:
+                stack.extend(node.children)
+
+    def range_query(
+        self, lower: Sequence[float], upper: Sequence[float]
+    ) -> Iterator[tuple[tuple[float, ...], object]]:
+        """Yield entries whose point lies inside the axis-aligned box [lower, upper]."""
+        if len(lower) != self.dimensions or len(upper) != self.dimensions:
+            raise ValueError(f"bounds must have {self.dimensions} dimensions")
+        if self.root is None:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if any(node.upper[d] < lower[d] or node.lower[d] > upper[d] for d in range(self.dimensions)):
+                continue
+            if node.is_leaf:
+                for point, payload in node.entries:
+                    if all(lower[d] <= point[d] <= upper[d] for d in range(self.dimensions)):
+                        yield point, payload
+            else:
+                stack.extend(node.children)
+
+    def all_entries(self) -> Iterator[tuple[tuple[float, ...], object]]:
+        """Yield every ``(point, payload)`` stored in the tree."""
+        if self.root is None:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.children)
+
+    def height(self) -> int:
+        """Return the number of levels (0 for an empty tree)."""
+        height = 0
+        node = self.root
+        while node is not None:
+            height += 1
+            node = node.children[0] if node.children else None
+        return height
+
+    def node_count(self) -> int:
+        """Return the total number of nodes (for size reporting)."""
+        if self.root is None:
+            return 0
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count

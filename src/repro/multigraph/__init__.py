@@ -1,0 +1,36 @@
+"""Multigraph substrate: data/query multigraphs and their dictionaries."""
+
+from .builder import DataMultigraph, build_data_multigraph
+from .dictionaries import (
+    AttributeDictionary,
+    EdgeTypeDictionary,
+    GraphDictionaries,
+    IdDictionary,
+    VertexDictionary,
+)
+from .graph import Multigraph
+from .query_graph import (
+    INCOMING,
+    OUTGOING,
+    IriConstraint,
+    QueryMultigraph,
+    QueryVertex,
+    build_query_multigraph,
+)
+
+__all__ = [
+    "Multigraph",
+    "DataMultigraph",
+    "build_data_multigraph",
+    "IdDictionary",
+    "VertexDictionary",
+    "EdgeTypeDictionary",
+    "AttributeDictionary",
+    "GraphDictionaries",
+    "QueryMultigraph",
+    "QueryVertex",
+    "IriConstraint",
+    "build_query_multigraph",
+    "INCOMING",
+    "OUTGOING",
+]

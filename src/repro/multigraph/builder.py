@@ -1,0 +1,97 @@
+"""Transformation of an RDF tripleset into the data multigraph ``G``.
+
+Section 2.1.1 defines four protocols for the transformation:
+
+1. a subject is always a vertex,
+2. a predicate is always an edge,
+3. an object is a vertex only when it is an IRI (or blank node),
+4. when the object is a literal, the tuple ``<predicate, literal>`` becomes
+   a vertex *attribute* of the subject.
+
+The result is a :class:`DataMultigraph`: the multigraph plus the three
+dictionaries needed to translate ids back to RDF entities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..rdf.dataset import TripleStore
+from ..rdf.terms import IRI, BlankNode, Literal, Triple
+from .dictionaries import GraphDictionaries
+from .graph import Multigraph
+
+__all__ = ["DataMultigraph", "build_data_multigraph"]
+
+
+@dataclass
+class DataMultigraph:
+    """The data multigraph ``G`` together with its dictionaries."""
+
+    graph: Multigraph = field(default_factory=Multigraph)
+    dictionaries: GraphDictionaries = field(default_factory=GraphDictionaries)
+    triple_count: int = 0
+
+    # ------------------------------------------------------------------ #
+    # incremental construction
+    # ------------------------------------------------------------------ #
+    def add_triple(self, triple: Triple) -> None:
+        """Apply the four transformation protocols to one RDF triple."""
+        subject_id = self.dictionaries.vertices.add(triple.subject)
+        self.graph.add_vertex(subject_id)
+        obj = triple.object
+        if isinstance(obj, Literal):
+            attribute_id = self.dictionaries.attributes.add((triple.predicate, obj))
+            self.graph.add_attribute(subject_id, attribute_id)
+        else:
+            edge_type_id = self.dictionaries.edge_types.add(triple.predicate)
+            object_id = self.dictionaries.vertices.add(obj)
+            if object_id == subject_id:
+                # RDF allows reflexive statements (s p s); Definition 1 forbids
+                # self-loops, so we follow the paper and record the relation as
+                # a vertex attribute instead of dropping the information.
+                attribute_id = self.dictionaries.attributes.add((triple.predicate, Literal(str(obj))))
+                self.graph.add_attribute(subject_id, attribute_id)
+            else:
+                self.graph.add_edge(subject_id, object_id, edge_type_id)
+        self.triple_count += 1
+
+    def add_triples(self, triples: Iterable[Triple]) -> None:
+        """Add every triple of ``triples``."""
+        for triple in triples:
+            self.add_triple(triple)
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def vertex_id(self, entity: IRI | BlankNode) -> int | None:
+        """Return the vertex id of an IRI/blank node, or None when absent."""
+        return self.dictionaries.vertices.get(entity)
+
+    def entity(self, vertex_id: int) -> IRI | BlankNode:
+        """Inverse vertex mapping ``Mv^-1``."""
+        return self.dictionaries.vertex_entity(vertex_id)
+
+    def edge_type_id(self, predicate: IRI) -> int | None:
+        """Return the edge-type id of a predicate, or None when absent."""
+        return self.dictionaries.edge_types.get(predicate)
+
+    def attribute_id(self, predicate: IRI, literal: Literal) -> int | None:
+        """Return the attribute id of a ``<predicate, literal>`` pair, or None."""
+        return self.dictionaries.attributes.get((predicate, literal))
+
+    def statistics(self) -> dict[str, int]:
+        """Return offline-stage statistics (Tables 4 and 5)."""
+        stats = self.graph.statistics()
+        stats["triples"] = self.triple_count
+        stats["attributes"] = len(self.dictionaries.attributes)
+        return stats
+
+
+def build_data_multigraph(source: TripleStore | Iterable[Triple]) -> DataMultigraph:
+    """Build the data multigraph from a triple store or any triple iterable."""
+    data = DataMultigraph()
+    triples: Iterable[Triple] = source if not isinstance(source, TripleStore) else iter(source)
+    data.add_triples(triples)
+    return data

@@ -1,0 +1,108 @@
+"""Dictionary look-up tables mapping RDF entities to integer identifiers.
+
+Table 2 of the paper defines three dictionaries used to transform an RDF
+tripleset into an attributed multigraph:
+
+* the **vertex dictionary** ``Mv`` maps subject/object IRIs to vertex ids,
+* the **edge-type dictionary** ``Me`` maps predicates to edge-type ids,
+* the **attribute dictionary** ``Ma`` maps ``<predicate, literal>`` tuples
+  to attribute ids.
+
+Each dictionary is bidirectional so the final embeddings can be translated
+back to RDF entities with the inverse mapping ``Mv^-1`` (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, TypeVar
+
+from ..rdf.terms import IRI, BlankNode, Literal
+
+__all__ = ["IdDictionary", "VertexDictionary", "EdgeTypeDictionary", "AttributeDictionary", "GraphDictionaries"]
+
+K = TypeVar("K", bound=Hashable)
+
+
+class IdDictionary(Generic[K]):
+    """A bidirectional mapping from hashable keys to dense integer ids."""
+
+    def __init__(self) -> None:
+        self._key_to_id: dict[K, int] = {}
+        self._id_to_key: list[K] = []
+
+    def add(self, key: K) -> int:
+        """Return the id of ``key``, creating a new id on first sight."""
+        existing = self._key_to_id.get(key)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_key)
+        self._key_to_id[key] = new_id
+        self._id_to_key.append(key)
+        return new_id
+
+    def id_of(self, key: K) -> int:
+        """Return the id of ``key``; raise ``KeyError`` when unknown."""
+        return self._key_to_id[key]
+
+    def get(self, key: K) -> int | None:
+        """Return the id of ``key`` or None when unknown."""
+        return self._key_to_id.get(key)
+
+    def key_of(self, identifier: int) -> K:
+        """Inverse mapping: return the key stored under ``identifier``."""
+        return self._id_to_key[identifier]
+
+    def __len__(self) -> int:
+        return len(self._id_to_key)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._key_to_id
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._id_to_key)
+
+    def items(self) -> Iterator[tuple[K, int]]:
+        """Yield ``(key, id)`` pairs in id order."""
+        for identifier, key in enumerate(self._id_to_key):
+            yield key, identifier
+
+
+class VertexDictionary(IdDictionary["IRI | BlankNode"]):
+    """``Mv``: subject/object resources to vertex ids (Table 2a)."""
+
+
+class EdgeTypeDictionary(IdDictionary[IRI]):
+    """``Me``: predicates to edge-type ids (Table 2b)."""
+
+
+class AttributeDictionary(IdDictionary[tuple[IRI, Literal]]):
+    """``Ma``: ``<predicate, object-literal>`` tuples to attribute ids (Table 2c)."""
+
+
+class GraphDictionaries:
+    """The ensemble of the three dictionaries used by one data multigraph."""
+
+    def __init__(self) -> None:
+        self.vertices = VertexDictionary()
+        self.edge_types = EdgeTypeDictionary()
+        self.attributes = AttributeDictionary()
+
+    def vertex_entity(self, vertex_id: int) -> IRI | BlankNode:
+        """Inverse vertex mapping ``Mv^-1`` used to report final bindings."""
+        return self.vertices.key_of(vertex_id)
+
+    def edge_type_entity(self, edge_type_id: int) -> IRI:
+        """Inverse edge-type mapping."""
+        return self.edge_types.key_of(edge_type_id)
+
+    def attribute_entity(self, attribute_id: int) -> tuple[IRI, Literal]:
+        """Inverse attribute mapping."""
+        return self.attributes.key_of(attribute_id)
+
+    def summary(self) -> dict[str, int]:
+        """Return the sizes of the three dictionaries."""
+        return {
+            "vertices": len(self.vertices),
+            "edge_types": len(self.edge_types),
+            "attributes": len(self.attributes),
+        }

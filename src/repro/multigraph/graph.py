@@ -1,0 +1,173 @@
+"""Directed, vertex-attributed multigraph (Definition 1 of the paper).
+
+The graph ``G = (V, E, LV, LE)`` stores:
+
+* ``V`` — dense integer vertex identifiers,
+* ``E`` — directed edges between vertices, where a pair of vertices may be
+  connected by *several* edge types at once (a multi-edge),
+* ``LV`` — the vertex labelling that assigns each vertex a set of attribute
+  identifiers (the ``<predicate, literal>`` tuples of Section 2.1.1),
+* ``LE`` — the edge labelling that assigns each directed edge its set of
+  edge-type identifiers (the predicates).
+
+Every vertex implicitly carries the null attribute ``{-}`` from the paper,
+so the attribute sets stored here only contain the real attribute ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["Multigraph"]
+
+
+class Multigraph:
+    """A directed multigraph over integer vertices with set-valued edge labels."""
+
+    def __init__(self) -> None:
+        self._out: dict[int, dict[int, set[int]]] = {}
+        self._in: dict[int, dict[int, set[int]]] = {}
+        self._attributes: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex: int) -> None:
+        """Ensure ``vertex`` exists in the graph."""
+        if vertex not in self._out:
+            self._out[vertex] = {}
+            self._in[vertex] = {}
+            self._attributes[vertex] = set()
+
+    def add_edge(self, source: int, target: int, edge_type: int) -> None:
+        """Add a directed edge ``source -> target`` labelled ``edge_type``.
+
+        Self-loops are rejected because Definition 1 requires
+        ``(v, v') != (v', v)``; the multigraph transformation never creates
+        them from well-formed RDF anyway.
+        """
+        if source == target:
+            raise ValueError(f"self-loop on vertex {source} is not allowed by Definition 1")
+        self.add_vertex(source)
+        self.add_vertex(target)
+        self._out[source].setdefault(target, set()).add(edge_type)
+        self._in[target].setdefault(source, set()).add(edge_type)
+
+    def add_attribute(self, vertex: int, attribute: int) -> None:
+        """Attach attribute id ``attribute`` to ``vertex`` (``LV``)."""
+        self.add_vertex(vertex)
+        self._attributes[vertex].add(attribute)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._out
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over all vertex ids."""
+        return iter(self._out)
+
+    def vertex_count(self) -> int:
+        """Return |V|."""
+        return len(self._out)
+
+    def edge_count(self) -> int:
+        """Return the number of directed vertex pairs connected by at least one edge."""
+        return sum(len(targets) for targets in self._out.values())
+
+    def multi_edge_count(self) -> int:
+        """Return the total number of (edge, type) pairs — i.e. RDF resource triples."""
+        return sum(len(types) for targets in self._out.values() for types in targets.values())
+
+    def attributes(self, vertex: int) -> frozenset[int]:
+        """Return ``LV(vertex)`` (without the implicit null attribute)."""
+        return frozenset(self._attributes.get(vertex, ()))
+
+    def attribute_count(self, vertex: int) -> int:
+        """Return the number of real attributes attached to ``vertex``."""
+        return len(self._attributes.get(vertex, ()))
+
+    def edge_types(self, source: int, target: int) -> frozenset[int]:
+        """Return ``LE(source, target)``; empty when no edge exists."""
+        return frozenset(self._out.get(source, {}).get(target, ()))
+
+    def has_edge(self, source: int, target: int, edge_type: int | None = None) -> bool:
+        """Return True when the edge (optionally with ``edge_type``) exists."""
+        types = self._out.get(source, {}).get(target)
+        if types is None:
+            return False
+        return True if edge_type is None else edge_type in types
+
+    # ------------------------------------------------------------------ #
+    # neighbourhood views
+    # ------------------------------------------------------------------ #
+    def out_neighbors(self, vertex: int) -> dict[int, set[int]]:
+        """Return ``{target: edge types}`` for outgoing edges of ``vertex``."""
+        return self._out.get(vertex, {})
+
+    def in_neighbors(self, vertex: int) -> dict[int, set[int]]:
+        """Return ``{source: edge types}`` for incoming edges of ``vertex``."""
+        return self._in.get(vertex, {})
+
+    def neighbors(self, vertex: int) -> set[int]:
+        """Return all vertices adjacent to ``vertex`` in either direction."""
+        return set(self._out.get(vertex, {})) | set(self._in.get(vertex, {}))
+
+    def degree(self, vertex: int) -> int:
+        """Return the number of distinct adjacent vertices (used for core/satellite)."""
+        return len(self.neighbors(vertex))
+
+    def out_degree(self, vertex: int) -> int:
+        """Return the number of distinct outgoing neighbour vertices."""
+        return len(self._out.get(vertex, {}))
+
+    def in_degree(self, vertex: int) -> int:
+        """Return the number of distinct incoming neighbour vertices."""
+        return len(self._in.get(vertex, {}))
+
+    def edges(self) -> Iterator[tuple[int, int, frozenset[int]]]:
+        """Yield ``(source, target, edge types)`` for every directed multi-edge."""
+        for source, targets in self._out.items():
+            for target, types in targets.items():
+                yield source, target, frozenset(types)
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def distinct_edge_types(self) -> set[int]:
+        """Return the set of all edge-type ids used in the graph."""
+        found: set[int] = set()
+        for targets in self._out.values():
+            for types in targets.values():
+                found.update(types)
+        return found
+
+    def statistics(self) -> dict[str, int]:
+        """Return Table-4 style counts for this multigraph."""
+        return {
+            "vertices": self.vertex_count(),
+            "edges": self.multi_edge_count(),
+            "edge_pairs": self.edge_count(),
+            "edge_types": len(self.distinct_edge_types()),
+            "attributed_vertices": sum(1 for attrs in self._attributes.values() if attrs),
+        }
+
+    def subgraph(self, vertices: Iterable[int]) -> "Multigraph":
+        """Return the induced sub-multigraph on ``vertices`` (attributes included)."""
+        keep = set(vertices)
+        sub = Multigraph()
+        for vertex in keep:
+            if vertex in self:
+                sub.add_vertex(vertex)
+                for attribute in self._attributes.get(vertex, ()):
+                    sub.add_attribute(vertex, attribute)
+        for source in keep:
+            for target, types in self._out.get(source, {}).items():
+                if target in keep:
+                    for edge_type in types:
+                        sub.add_edge(source, target, edge_type)
+        return sub

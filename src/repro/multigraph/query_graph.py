@@ -1,0 +1,240 @@
+"""Transformation of a SPARQL query into the query multigraph ``Q``.
+
+Section 2.2.1 of the paper: every variable becomes a query vertex ``u``;
+predicates are mapped through the edge-type dictionary; ``<predicate,
+literal>`` objects become vertex attributes looked up in the attribute
+dictionary; constant IRIs become *IRI vertices* attached to the variable
+vertex they constrain (the set ``u.R``).
+
+The query multigraph is always built *against* a :class:`DataMultigraph`
+because the identifiers come from the data dictionaries.  A query term that
+does not exist in the data (unknown predicate, literal or IRI) makes the
+query — or the affected vertex — unsatisfiable, which the engine uses to
+return an empty answer without searching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rdf.terms import IRI, Literal
+from ..sparql.algebra import SelectQuery, TriplePattern, Variable
+from .builder import DataMultigraph
+from .graph import Multigraph
+
+__all__ = ["IriConstraint", "QueryVertex", "QueryMultigraph", "build_query_multigraph"]
+
+#: Edge direction flags: '+' means the edge points *towards* the query
+#: vertex (incoming), '-' means it leaves the query vertex (outgoing),
+#: following the sign convention of Section 2.2.1.
+INCOMING = "+"
+OUTGOING = "-"
+
+
+@dataclass(frozen=True, slots=True)
+class IriConstraint:
+    """A constant-IRI neighbour of a query vertex.
+
+    ``data_vertex`` is the data-graph id of the constant IRI (or ``None``
+    when the IRI does not occur in the data).  ``direction`` is the edge
+    direction *relative to the query vertex* and ``edge_types`` the
+    multi-edge connecting them.
+    """
+
+    iri: IRI
+    data_vertex: int | None
+    direction: str
+    edge_types: frozenset[int]
+
+
+@dataclass
+class QueryVertex:
+    """One variable vertex ``u`` of the query multigraph."""
+
+    identifier: int
+    variable: Variable
+    attributes: set[int] = field(default_factory=set)
+    iri_constraints: list[IriConstraint] = field(default_factory=list)
+    #: True when a literal/IRI/predicate constraint on this vertex cannot be
+    #: satisfied because the entity does not exist in the data dictionaries.
+    unsatisfiable: bool = False
+
+    @property
+    def has_attributes(self) -> bool:
+        """Return True when the vertex carries at least one real attribute."""
+        return bool(self.attributes)
+
+    @property
+    def has_iri_constraints(self) -> bool:
+        """Return True when the vertex is connected to at least one constant IRI."""
+        return bool(self.iri_constraints)
+
+
+class QueryMultigraph:
+    """The query multigraph ``Q``: variable vertices, multi-edges, attributes."""
+
+    def __init__(self, query: SelectQuery):
+        self.query = query
+        self.graph = Multigraph()
+        self.vertices: dict[int, QueryVertex] = {}
+        self._by_variable: dict[Variable, int] = {}
+        #: Ground (variable-free) patterns that must hold in the data for the
+        #: query to have any answer at all.
+        self.ground_checks: list[TriplePattern] = []
+        #: True when some query entity does not exist in the data at all.
+        self.unsatisfiable = False
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def vertex_for(self, variable: Variable) -> QueryVertex:
+        """Return (creating if needed) the query vertex of ``variable``."""
+        identifier = self._by_variable.get(variable)
+        if identifier is None:
+            identifier = len(self._by_variable)
+            self._by_variable[variable] = identifier
+            vertex = QueryVertex(identifier, variable)
+            self.vertices[identifier] = vertex
+            self.graph.add_vertex(identifier)
+            return vertex
+        return self.vertices[identifier]
+
+    def variable_of(self, identifier: int) -> Variable:
+        """Return the SPARQL variable mapped to query vertex ``identifier``."""
+        return self.vertices[identifier].variable
+
+    def vertex_id(self, variable: Variable) -> int | None:
+        """Return the vertex id of ``variable`` or None when it has no vertex."""
+        return self._by_variable.get(variable)
+
+    # ------------------------------------------------------------------ #
+    # structure accessors used by the matcher
+    # ------------------------------------------------------------------ #
+    def variable_vertices(self) -> list[QueryVertex]:
+        """Return all variable vertices in id order."""
+        return [self.vertices[i] for i in sorted(self.vertices)]
+
+    def degree(self, identifier: int) -> int:
+        """Structural degree: number of distinct *variable* neighbours."""
+        return self.graph.degree(identifier)
+
+    def edge_types_between(self, source: int, target: int) -> frozenset[int]:
+        """Return the multi-edge label on the directed edge ``source -> target``."""
+        return self.graph.edge_types(source, target)
+
+    def multi_edge_signature(self, identifier: int) -> list[frozenset[int]]:
+        """Return the list of multi-edges (as sets of edge types) incident on a vertex.
+
+        IRI-constraint edges are included because they contribute to the
+        vertex signature used for synopsis-based pruning (Section 4.2).
+        """
+        vertex = self.vertices[identifier]
+        multi_edges = [frozenset(types) for _, types in self.graph.out_neighbors(identifier).items()]
+        multi_edges += [frozenset(types) for _, types in self.graph.in_neighbors(identifier).items()]
+        multi_edges += [constraint.edge_types for constraint in vertex.iri_constraints]
+        return multi_edges
+
+    def connected_components(self) -> list[set[int]]:
+        """Return connected components of the variable-vertex structure."""
+        remaining = set(self.vertices)
+        components: list[set[int]] = []
+        while remaining:
+            seed = remaining.pop()
+            component = {seed}
+            frontier = [seed]
+            while frontier:
+                current = frontier.pop()
+                for neighbor in self.graph.neighbors(current):
+                    if neighbor in remaining:
+                        remaining.discard(neighbor)
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            components.append(component)
+        return components
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+
+def build_query_multigraph(query: SelectQuery, data: DataMultigraph) -> QueryMultigraph:
+    """Build the query multigraph of ``query`` against ``data``'s dictionaries."""
+    qgraph = QueryMultigraph(query)
+    for pattern in query.patterns:
+        _add_pattern(qgraph, pattern, data)
+    return qgraph
+
+
+def _add_pattern(qgraph: QueryMultigraph, pattern: TriplePattern, data: DataMultigraph) -> None:
+    """Fold one triple pattern into the query multigraph."""
+    subject, predicate, obj = pattern.subject, pattern.predicate, pattern.object
+    subject_is_var = isinstance(subject, Variable)
+    object_is_var = isinstance(obj, Variable)
+
+    # Literal object: the pair <predicate, literal> is a vertex attribute.
+    if isinstance(obj, Literal):
+        attribute_id = data.attribute_id(predicate, obj)
+        if subject_is_var:
+            vertex = qgraph.vertex_for(subject)
+            if attribute_id is None:
+                vertex.unsatisfiable = True
+            else:
+                vertex.attributes.add(attribute_id)
+        else:
+            qgraph.ground_checks.append(pattern)
+            subject_id = data.vertex_id(subject)
+            if (
+                attribute_id is None
+                or subject_id is None
+                or attribute_id not in data.graph.attributes(subject_id)
+            ):
+                qgraph.unsatisfiable = True
+        return
+
+    edge_type_id = data.edge_type_id(predicate)
+
+    # Both subject and object are variables: a directed multi-edge in Q.
+    if subject_is_var and object_is_var:
+        source = qgraph.vertex_for(subject)
+        target = qgraph.vertex_for(obj)
+        if edge_type_id is None:
+            source.unsatisfiable = True
+            target.unsatisfiable = True
+            return
+        if source.identifier == target.identifier:
+            # A pattern like ``?X p ?X`` requires a self-loop, which the data
+            # multigraph cannot contain (Definition 1): unsatisfiable.
+            source.unsatisfiable = True
+            return
+        qgraph.graph.add_edge(source.identifier, target.identifier, edge_type_id)
+        return
+
+    # Exactly one side is a variable: the constant IRI becomes an IRI vertex.
+    if subject_is_var or object_is_var:
+        variable = subject if subject_is_var else obj
+        constant = obj if subject_is_var else subject
+        vertex = qgraph.vertex_for(variable)
+        direction = OUTGOING if subject_is_var else INCOMING
+        if edge_type_id is None:
+            vertex.unsatisfiable = True
+            return
+        data_vertex = data.vertex_id(constant)
+        constraint = IriConstraint(
+            iri=constant,
+            data_vertex=data_vertex,
+            direction=direction,
+            edge_types=frozenset({edge_type_id}),
+        )
+        vertex.iri_constraints.append(constraint)
+        if data_vertex is None:
+            vertex.unsatisfiable = True
+        return
+
+    # Fully ground pattern: record it as an existence check.
+    qgraph.ground_checks.append(pattern)
+    if edge_type_id is None:
+        qgraph.unsatisfiable = True
+        return
+    source_id = data.vertex_id(subject)
+    target_id = data.vertex_id(obj)
+    if source_id is None or target_id is None or not data.graph.has_edge(source_id, target_id, edge_type_id):
+        qgraph.unsatisfiable = True

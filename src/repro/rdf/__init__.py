@@ -1,0 +1,37 @@
+"""RDF data model substrate: terms, parsers, namespaces and the triple store."""
+
+from .dataset import TripleStore
+from .namespace import RDF_TYPE, XSD, Namespace, NamespaceManager
+from .ntriples import (
+    NTriplesParseError,
+    parse_ntriples,
+    parse_ntriples_file,
+    serialize_ntriples,
+    write_ntriples_file,
+)
+from .terms import IRI, BlankNode, Literal, Term, Triple, is_iri, is_literal
+from .turtle import TurtleParseError, TurtleParser, parse_turtle, parse_turtle_file
+
+__all__ = [
+    "IRI",
+    "BlankNode",
+    "Literal",
+    "Term",
+    "Triple",
+    "is_iri",
+    "is_literal",
+    "Namespace",
+    "NamespaceManager",
+    "RDF_TYPE",
+    "XSD",
+    "NTriplesParseError",
+    "parse_ntriples",
+    "parse_ntriples_file",
+    "serialize_ntriples",
+    "write_ntriples_file",
+    "TurtleParseError",
+    "TurtleParser",
+    "parse_turtle",
+    "parse_turtle_file",
+    "TripleStore",
+]

@@ -1,0 +1,100 @@
+"""Namespace and prefix management for compact IRI notation.
+
+The paper abbreviates IRIs with prefixes (``x:London`` for
+``http://dbpedia.org/resource/London``).  :class:`NamespaceManager` keeps a
+bidirectional prefix registry used by the Turtle parser, the SPARQL parser
+and the pretty-printers.
+"""
+
+from __future__ import annotations
+
+from .terms import IRI
+
+__all__ = ["Namespace", "NamespaceManager", "RDF_TYPE", "XSD"]
+
+#: The rdf:type predicate, frequently used by dataset generators.
+RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+#: XML Schema datatype namespace prefix.
+XSD = "http://www.w3.org/2001/XMLSchema#"
+
+
+class Namespace:
+    """A namespace that mints IRIs by attribute or item access.
+
+    >>> dbo = Namespace("http://dbpedia.org/ontology/")
+    >>> dbo.livedIn
+    IRI(value='http://dbpedia.org/ontology/livedIn')
+    """
+
+    def __init__(self, base: str):
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        self.base = base
+
+    def term(self, local: str) -> IRI:
+        """Return the IRI for ``local`` inside this namespace."""
+        return IRI(self.base + local)
+
+    def __getattr__(self, local: str) -> IRI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __getitem__(self, local: str) -> IRI:
+        return self.term(local)
+
+    def __contains__(self, iri: IRI | str) -> bool:
+        value = iri.value if isinstance(iri, IRI) else iri
+        return value.startswith(self.base)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.base!r})"
+
+
+class NamespaceManager:
+    """Bidirectional registry of ``prefix -> namespace base`` bindings."""
+
+    def __init__(self) -> None:
+        self._prefix_to_base: dict[str, str] = {}
+        self._base_to_prefix: dict[str, str] = {}
+
+    def bind(self, prefix: str, base: str) -> None:
+        """Register ``prefix`` for ``base``, replacing previous bindings."""
+        old_base = self._prefix_to_base.get(prefix)
+        if old_base is not None:
+            self._base_to_prefix.pop(old_base, None)
+        self._prefix_to_base[prefix] = base
+        self._base_to_prefix[base] = prefix
+
+    def prefixes(self) -> dict[str, str]:
+        """Return a copy of the ``prefix -> base`` map."""
+        return dict(self._prefix_to_base)
+
+    def expand(self, qname: str) -> IRI:
+        """Expand a prefixed name such as ``x:London`` into an IRI.
+
+        Raises :class:`KeyError` when the prefix is unknown.
+        """
+        prefix, sep, local = qname.partition(":")
+        if not sep:
+            raise ValueError(f"not a prefixed name: {qname!r}")
+        base = self._prefix_to_base[prefix]
+        return IRI(base + local)
+
+    def compact(self, iri: IRI | str) -> str:
+        """Return the shortest prefixed form of ``iri``, or the full IRI."""
+        value = iri.value if isinstance(iri, IRI) else iri
+        best: str | None = None
+        best_base = ""
+        for base, prefix in self._base_to_prefix.items():
+            if value.startswith(base) and len(base) > len(best_base):
+                best = f"{prefix}:{value[len(base):]}"
+                best_base = base
+        return best if best is not None else value
+
+    def __len__(self) -> int:
+        return len(self._prefix_to_base)
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._prefix_to_base

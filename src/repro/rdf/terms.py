@@ -1,0 +1,129 @@
+"""Core RDF term model: IRIs, literals, blank nodes and triples.
+
+The paper (Section 2.1) works with RDF triples ``<s, p, o>`` where the
+subject and predicate are always IRIs and the object is either an IRI or a
+literal.  This module provides immutable, hashable term classes so that
+terms can be used as dictionary keys throughout the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Triple",
+    "Term",
+    "is_iri",
+    "is_literal",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class IRI:
+    """An Internationalized Resource Identifier.
+
+    The ``value`` stores the full expanded IRI, e.g.
+    ``http://dbpedia.org/resource/London``.
+    """
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("IRI value must be a non-empty string")
+
+    def n3(self) -> str:
+        """Return the N-Triples serialization, e.g. ``<http://...>``."""
+        return f"<{self.value}>"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An RDF literal with an optional datatype IRI and language tag."""
+
+    value: str
+    datatype: str | None = None
+    language: str | None = None
+
+    def n3(self) -> str:
+        """Return the N-Triples serialization, e.g. ``"90000"``."""
+        escaped = (
+            self.value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        out = f'"{escaped}"'
+        if self.language:
+            out += f"@{self.language}"
+        elif self.datatype:
+            out += f"^^<{self.datatype}>"
+        return out
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class BlankNode:
+    """A blank node, identified by a local label (without the ``_:`` prefix)."""
+
+    label: str
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+
+Term = Union[IRI, Literal, BlankNode]
+
+
+def is_iri(term: object) -> bool:
+    """Return True when ``term`` is an :class:`IRI`."""
+    return isinstance(term, IRI)
+
+
+def is_literal(term: object) -> bool:
+    """Return True when ``term`` is a :class:`Literal`."""
+    return isinstance(term, Literal)
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """An RDF triple ``<subject, predicate, object>``.
+
+    Subjects are IRIs or blank nodes, predicates are IRIs, and objects are
+    IRIs, blank nodes or literals — matching the W3C RDF 1.1 data model and
+    the paper's Section 2.1.
+    """
+
+    subject: IRI | BlankNode
+    predicate: IRI
+    object: Term
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.subject, (IRI, BlankNode)):
+            raise TypeError(f"triple subject must be IRI or BlankNode, got {type(self.subject).__name__}")
+        if not isinstance(self.predicate, IRI):
+            raise TypeError(f"triple predicate must be IRI, got {type(self.predicate).__name__}")
+        if not isinstance(self.object, (IRI, BlankNode, Literal)):
+            raise TypeError(f"triple object must be an RDF term, got {type(self.object).__name__}")
+
+    def n3(self) -> str:
+        """Return the N-Triples line (without the trailing newline)."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def __iter__(self):
+        yield self.subject
+        yield self.predicate
+        yield self.object

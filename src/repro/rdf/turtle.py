@@ -1,0 +1,196 @@
+"""A Turtle-subset parser.
+
+Supports the Turtle constructs needed to author test data and examples
+conveniently:
+
+* ``@prefix p: <base> .`` and SPARQL-style ``PREFIX p: <base>``
+* prefixed names (``x:London``), full IRIs (``<http://...>``)
+* literals with optional language tags / datatypes, plus bare integers,
+  decimals and booleans
+* predicate lists with ``;`` and object lists with ``,``
+* the ``a`` keyword for ``rdf:type``
+* ``#`` comments
+
+Blank node property lists and collections are out of scope; the datasets
+used in the paper's evaluation do not require them.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterator
+
+from .namespace import RDF_TYPE, XSD, NamespaceManager
+from .terms import IRI, BlankNode, Literal, Triple
+
+__all__ = ["TurtleParseError", "TurtleParser", "parse_turtle", "parse_turtle_file"]
+
+
+class TurtleParseError(ValueError):
+    """Raised on malformed Turtle input."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<iri><[^<>"{}|^`\\\x00-\x20]*>)
+  | (?P<literal>"(?:[^"\\]|\\.)*"(?:@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*|\^\^<[^<>\s]+>|\^\^[A-Za-z_][\w.-]*:[\w.-]+)?)
+  | (?P<prefix_decl>@prefix|@base|(?i:PREFIX)(?=\s))
+  | (?P<bnode>_:[A-Za-z0-9][A-Za-z0-9_.-]*)
+  | (?P<number>[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<boolean>\btrue\b|\bfalse\b)
+  | (?P<a>\ba\b)
+  | (?P<pname>[A-Za-z_][\w.-]*)?:(?:[A-Za-z0-9_][\w.%-]*)?
+  | (?P<punct>[.;,])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    pos = 0
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            raise TurtleParseError(f"unexpected character at offset {pos}: {text[pos:pos + 20]!r}")
+        kind = match.lastgroup
+        value = match.group()
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        if kind is None:
+            kind = "pname"
+        yield kind, value
+
+
+class TurtleParser:
+    """Stateful Turtle-subset parser producing :class:`Triple` objects."""
+
+    def __init__(self, namespaces: NamespaceManager | None = None):
+        self.namespaces = namespaces if namespaces is not None else NamespaceManager()
+
+    def parse(self, text: str) -> list[Triple]:
+        """Parse a Turtle document and return the list of triples."""
+        tokens = list(_tokenize(text))
+        triples: list[Triple] = []
+        i = 0
+        while i < len(tokens):
+            kind, value = tokens[i]
+            if kind == "prefix_decl":
+                i = self._parse_prefix(tokens, i)
+                continue
+            i = self._parse_statement(tokens, i, triples)
+        return triples
+
+    def _parse_prefix(self, tokens: list[tuple[str, str]], i: int) -> int:
+        directive = tokens[i][1]
+        if directive == "@base" or directive.lower() == "base":
+            raise TurtleParseError("@base is not supported by this Turtle subset")
+        if i + 2 >= len(tokens):
+            raise TurtleParseError("truncated @prefix declaration")
+        pname_kind, pname = tokens[i + 1]
+        iri_kind, iri = tokens[i + 2]
+        if pname_kind != "pname" or iri_kind != "iri":
+            raise TurtleParseError(f"malformed prefix declaration near {pname!r}")
+        prefix = pname.rstrip(":")
+        self.namespaces.bind(prefix, iri[1:-1])
+        i += 3
+        # The terminating '.' is required after @prefix but optional after PREFIX.
+        if i < len(tokens) and tokens[i] == ("punct", "."):
+            i += 1
+        elif directive == "@prefix":
+            raise TurtleParseError("@prefix declaration must end with '.'")
+        return i
+
+    def _parse_statement(self, tokens: list[tuple[str, str]], i: int, triples: list[Triple]) -> int:
+        subject, i = self._parse_term(tokens, i, position="subject")
+        if not isinstance(subject, (IRI, BlankNode)):
+            raise TurtleParseError(f"subject must be an IRI or blank node, got {subject!r}")
+        while True:
+            predicate, i = self._parse_term(tokens, i, position="predicate")
+            if not isinstance(predicate, IRI):
+                raise TurtleParseError(f"predicate must be an IRI, got {predicate!r}")
+            while True:
+                obj, i = self._parse_term(tokens, i, position="object")
+                triples.append(Triple(subject, predicate, obj))
+                if i < len(tokens) and tokens[i] == ("punct", ","):
+                    i += 1
+                    continue
+                break
+            if i < len(tokens) and tokens[i] == ("punct", ";"):
+                i += 1
+                # Allow a trailing ';' right before the final '.'.
+                if i < len(tokens) and tokens[i] == ("punct", "."):
+                    break
+                continue
+            break
+        if i >= len(tokens) or tokens[i] != ("punct", "."):
+            raise TurtleParseError("statement must end with '.'")
+        return i + 1
+
+    def _parse_term(self, tokens: list[tuple[str, str]], i: int, position: str):
+        if i >= len(tokens):
+            raise TurtleParseError(f"unexpected end of input while reading {position}")
+        kind, value = tokens[i]
+        if kind == "iri":
+            return IRI(value[1:-1]), i + 1
+        if kind == "pname":
+            try:
+                return self.namespaces.expand(value), i + 1
+            except KeyError as exc:
+                raise TurtleParseError(f"unknown prefix in {value!r}") from exc
+        if kind == "bnode":
+            return BlankNode(value[2:]), i + 1
+        if kind == "a":
+            if position != "predicate":
+                raise TurtleParseError("'a' keyword is only valid in predicate position")
+            return RDF_TYPE, i + 1
+        if kind == "literal":
+            return self._parse_literal(value), i + 1
+        if kind == "number":
+            datatype = XSD + ("decimal" if "." in value or "e" in value.lower() else "integer")
+            return Literal(value, datatype=datatype), i + 1
+        if kind == "boolean":
+            return Literal(value, datatype=XSD + "boolean"), i + 1
+        raise TurtleParseError(f"unexpected token {value!r} while reading {position}")
+
+    @staticmethod
+    def _parse_literal(token: str) -> Literal:
+        closing = _find_closing_quote(token)
+        raw = token[1:closing]
+        value = raw.replace('\\"', '"').replace("\\n", "\n").replace("\\t", "\t").replace("\\\\", "\\")
+        suffix = token[closing + 1 :]
+        if suffix.startswith("@"):
+            return Literal(value, language=suffix[1:])
+        if suffix.startswith("^^<"):
+            return Literal(value, datatype=suffix[3:-1])
+        if suffix.startswith("^^"):
+            return Literal(value, datatype=suffix[2:])
+        return Literal(value)
+
+
+def _find_closing_quote(token: str) -> int:
+    """Return the index of the closing quote of a literal token."""
+    i = 1
+    while i < len(token):
+        if token[i] == "\\":
+            i += 2
+            continue
+        if token[i] == '"':
+            return i
+        i += 1
+    raise TurtleParseError(f"unterminated literal {token!r}")
+
+
+def parse_turtle(text: str, namespaces: NamespaceManager | None = None) -> list[Triple]:
+    """Parse a Turtle document string into a list of triples."""
+    return TurtleParser(namespaces).parse(text)
+
+
+def parse_turtle_file(path: str | Path, namespaces: NamespaceManager | None = None) -> list[Triple]:
+    """Parse a ``.ttl`` file on disk into a list of triples."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_turtle(handle.read(), namespaces)

@@ -1,0 +1,20 @@
+"""SPARQL SELECT/WHERE substrate: algebra, parser and result bindings."""
+
+from .algebra import PatternTerm, SelectQuery, TriplePattern, Variable
+from .bindings import Binding, ResultSet
+from .parser import SparqlParser, SparqlSyntaxError, parse_sparql
+from .tokenizer import Token, tokenize
+
+__all__ = [
+    "Variable",
+    "PatternTerm",
+    "TriplePattern",
+    "SelectQuery",
+    "Binding",
+    "ResultSet",
+    "SparqlParser",
+    "SparqlSyntaxError",
+    "parse_sparql",
+    "Token",
+    "tokenize",
+]

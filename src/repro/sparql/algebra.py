@@ -1,0 +1,120 @@
+"""SPARQL algebra objects for the SELECT/WHERE fragment used by the paper.
+
+A query is a :class:`SelectQuery` over a basic graph pattern (a list of
+:class:`TriplePattern`).  Each pattern component is either a
+:class:`Variable` or a concrete RDF term (IRI / Literal); predicates are
+always IRIs, matching Section 2.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..rdf.terms import IRI, Literal, Term
+
+__all__ = ["Variable", "PatternTerm", "TriplePattern", "SelectQuery"]
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A SPARQL variable such as ``?X0`` (the name excludes the ``?``)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+PatternTerm = Union[Variable, IRI, Literal]
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """One triple pattern of a basic graph pattern.
+
+    The predicate must be a concrete IRI (the paper only considers queries
+    whose predicates are instantiated, Section 2.2).
+    """
+
+    subject: PatternTerm
+    predicate: IRI
+    object: PatternTerm
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.predicate, IRI):
+            raise TypeError("triple pattern predicates must be concrete IRIs")
+        if isinstance(self.subject, Literal):
+            raise TypeError("triple pattern subjects cannot be literals")
+
+    def variables(self) -> set[Variable]:
+        """Return the variables appearing in this pattern."""
+        found = set()
+        if isinstance(self.subject, Variable):
+            found.add(self.subject)
+        if isinstance(self.object, Variable):
+            found.add(self.object)
+        return found
+
+    def is_ground(self) -> bool:
+        """Return True when the pattern has no variables."""
+        return not self.variables()
+
+    def __str__(self) -> str:
+        def fmt(term: PatternTerm) -> str:
+            return str(term) if isinstance(term, Variable) else term.n3()
+
+        return f"{fmt(self.subject)} {self.predicate.n3()} {fmt(self.object)} ."
+
+
+@dataclass(slots=True)
+class SelectQuery:
+    """A SPARQL ``SELECT ... WHERE { ... }`` query.
+
+    ``projection`` lists the variables to return; an empty projection means
+    ``SELECT *`` (all variables of the pattern).  ``distinct`` and ``limit``
+    mirror the corresponding solution modifiers.
+    """
+
+    patterns: list[TriplePattern]
+    projection: list[Variable] = field(default_factory=list)
+    distinct: bool = False
+    limit: int | None = None
+
+    def variables(self) -> list[Variable]:
+        """Return pattern variables in first-appearance order."""
+        seen: dict[Variable, None] = {}
+        for pattern in self.patterns:
+            for term in (pattern.subject, pattern.object):
+                if isinstance(term, Variable) and term not in seen:
+                    seen[term] = None
+        return list(seen)
+
+    def answer_variables(self) -> list[Variable]:
+        """Return the variables actually projected by the query."""
+        return self.projection if self.projection else self.variables()
+
+    def constant_terms(self) -> set[Term]:
+        """Return the concrete IRIs/literals referenced by the pattern."""
+        constants: set[Term] = set()
+        for pattern in self.patterns:
+            for term in (pattern.subject, pattern.object):
+                if not isinstance(term, Variable):
+                    constants.add(term)
+        return constants
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __str__(self) -> str:
+        head = "SELECT "
+        if self.distinct:
+            head += "DISTINCT "
+        head += " ".join(str(v) for v in self.projection) if self.projection else "*"
+        body = "\n  ".join(str(p) for p in self.patterns)
+        tail = f"\nLIMIT {self.limit}" if self.limit is not None else ""
+        return f"{head} WHERE {{\n  {body}\n}}{tail}"

@@ -1,0 +1,129 @@
+"""Solution bindings: the result rows returned by every engine.
+
+All engines in this repository (AMbER and the baselines) return their
+answers as a :class:`ResultSet`, which makes results directly comparable in
+tests and benchmarks regardless of the execution strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..rdf.terms import Term
+from .algebra import SelectQuery, Variable
+
+__all__ = ["Binding", "ResultSet"]
+
+
+class Binding(Mapping[Variable, Term]):
+    """An immutable mapping from query variables to RDF terms."""
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data: Mapping[Variable, Term] | Iterable[tuple[Variable, Term]]):
+        self._data = dict(data)
+        self._hash: int | None = None
+
+    def __getitem__(self, key: Variable) -> Term:
+        return self._data[key]
+
+    def get_name(self, name: str, default: Term | None = None) -> Term | None:
+        """Look up a binding by bare variable name (without the ``?``)."""
+        return self._data.get(Variable(name), default)
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def project(self, variables: Iterable[Variable]) -> "Binding":
+        """Return a new binding restricted to ``variables`` (missing ones dropped)."""
+        return Binding({v: self._data[v] for v in variables if v in self._data})
+
+    def merge(self, other: Mapping[Variable, Term]) -> "Binding | None":
+        """Merge with ``other``; return None when the bindings conflict."""
+        merged = dict(self._data)
+        for key, value in other.items():
+            if key in merged and merged[key] != value:
+                return None
+            merged[key] = value
+        return Binding(merged)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._data.items()))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Binding):
+            return self._data == other._data
+        if isinstance(other, Mapping):
+            return self._data == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{var}={term}" for var, term in sorted(self._data.items(), key=lambda kv: kv[0].name))
+        return f"Binding({items})"
+
+
+class ResultSet:
+    """An ordered collection of :class:`Binding` rows for a query."""
+
+    def __init__(self, variables: list[Variable], rows: Iterable[Binding] = ()):
+        self.variables = list(variables)
+        self.rows = list(rows)
+
+    @classmethod
+    def for_query(cls, query: SelectQuery, rows: Iterable[Binding] = ()) -> "ResultSet":
+        """Create a result set projected on the query's answer variables."""
+        variables = query.answer_variables()
+        projected = (row.project(variables) for row in rows)
+        if query.distinct:
+            seen: set[Binding] = set()
+            unique: list[Binding] = []
+            for row in projected:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            rows_list = unique
+        else:
+            rows_list = list(projected)
+        if query.limit is not None:
+            rows_list = rows_list[: query.limit]
+        return cls(variables, rows_list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Binding]:
+        return iter(self.rows)
+
+    def __contains__(self, row: Binding) -> bool:
+        return row in self.rows
+
+    def as_set(self) -> frozenset[Binding]:
+        """Return the rows as a set (for order-insensitive comparison)."""
+        return frozenset(self.rows)
+
+    def same_solutions(self, other: "ResultSet") -> bool:
+        """Return True when both result sets contain the same solution rows."""
+        return self.as_set() == other.as_set()
+
+    def to_table(self, max_rows: int | None = 20) -> str:
+        """Render a small ASCII table, useful in examples and debugging."""
+        header = [str(v) for v in self.variables]
+        body_rows = self.rows if max_rows is None else self.rows[:max_rows]
+        body = [[str(row.get(v, "")) for v in self.variables] for row in body_rows]
+        widths = [len(h) for h in header]
+        for line in body:
+            widths = [max(w, len(cell)) for w, cell in zip(widths, line)]
+        fmt = " | ".join(f"{{:<{w}}}" for w in widths)
+        lines = [fmt.format(*header), "-+-".join("-" * w for w in widths)]
+        lines.extend(fmt.format(*line) for line in body)
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self.rows)} rows over {[str(v) for v in self.variables]})"

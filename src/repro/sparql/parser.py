@@ -1,0 +1,206 @@
+"""Recursive-descent parser for SPARQL ``SELECT ... WHERE { BGP }`` queries.
+
+Coverage follows the paper's scope (Section 1): SELECT/WHERE with basic
+graph patterns, PREFIX declarations, ``DISTINCT``, ``LIMIT``, predicate
+lists (``;``), object lists (``,``) and the ``a`` shorthand.  FILTER,
+UNION, OPTIONAL and GROUP BY are detected and rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+from ..rdf.namespace import RDF_TYPE, XSD, NamespaceManager
+from ..rdf.terms import IRI, Literal
+from .algebra import SelectQuery, TriplePattern, Variable
+from .tokenizer import SparqlSyntaxError, Token, tokenize
+
+__all__ = ["SparqlParser", "parse_sparql", "SparqlSyntaxError"]
+
+
+class SparqlParser:
+    """Parser turning SPARQL text into a :class:`SelectQuery`."""
+
+    def __init__(self, namespaces: NamespaceManager | None = None):
+        self.namespaces = namespaces if namespaces is not None else NamespaceManager()
+        self._tokens: list[Token] = []
+        self._pos = 0
+
+    # ------------------------------------------------------------------ #
+    # token helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self) -> Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SparqlSyntaxError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            expected = text or kind
+            raise SparqlSyntaxError(f"expected {expected!r} but found {token.text!r} at offset {token.position}")
+        return token
+
+    # ------------------------------------------------------------------ #
+    # grammar
+    # ------------------------------------------------------------------ #
+    def parse(self, text: str) -> SelectQuery:
+        """Parse ``text`` and return the query algebra."""
+        self._tokens = list(tokenize(text))
+        self._pos = 0
+        self._parse_prologue()
+        query = self._parse_select()
+        leftover = self._peek()
+        if leftover is not None:
+            raise SparqlSyntaxError(f"unexpected trailing token {leftover.text!r}")
+        return query
+
+    def _parse_prologue(self) -> None:
+        while True:
+            token = self._peek()
+            if token is None or token.kind != "keyword" or token.text != "PREFIX":
+                return
+            self._next()
+            pname = self._expect("pname")
+            iri = self._expect("iri")
+            prefix = pname.text.rstrip(":")
+            self.namespaces.bind(prefix, iri.text[1:-1])
+
+    def _parse_select(self) -> SelectQuery:
+        token = self._next()
+        if token.kind != "keyword" or token.text != "SELECT":
+            raise SparqlSyntaxError(f"only SELECT queries are supported, found {token.text!r}")
+        distinct = False
+        projection: list[Variable] = []
+        token = self._next()
+        if token.kind == "keyword" and token.text == "DISTINCT":
+            distinct = True
+            token = self._next()
+        while token.kind != "keyword" or token.text != "WHERE":
+            if token.kind == "var":
+                projection.append(Variable(token.text[1:]))
+            elif token.kind == "star":
+                projection = []
+            else:
+                raise SparqlSyntaxError(f"unexpected token {token.text!r} in SELECT clause")
+            token = self._next()
+        self._expect("punct", "{")
+        patterns = self._parse_group_graph_pattern()
+        limit = self._parse_solution_modifiers()
+        return SelectQuery(patterns=patterns, projection=projection, distinct=distinct, limit=limit)
+
+    def _parse_group_graph_pattern(self) -> list[TriplePattern]:
+        patterns: list[TriplePattern] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise SparqlSyntaxError("unterminated group graph pattern, missing '}'")
+            if token.kind == "punct" and token.text == "}":
+                self._next()
+                return patterns
+            if token.kind == "keyword" and token.text in ("FILTER", "UNION", "OPTIONAL"):
+                raise SparqlSyntaxError(
+                    f"{token.text} is outside the supported SELECT/WHERE fragment (see paper Section 1)"
+                )
+            patterns.extend(self._parse_triples_block())
+
+    def _parse_triples_block(self) -> list[TriplePattern]:
+        patterns: list[TriplePattern] = []
+        subject = self._parse_term(position="subject")
+        while True:
+            predicate = self._parse_term(position="predicate")
+            if not isinstance(predicate, IRI):
+                raise SparqlSyntaxError("predicates must be concrete IRIs in this fragment")
+            while True:
+                obj = self._parse_term(position="object")
+                patterns.append(TriplePattern(subject, predicate, obj))
+                token = self._peek()
+                if token is not None and token.kind == "punct" and token.text == ",":
+                    self._next()
+                    continue
+                break
+            token = self._peek()
+            if token is not None and token.kind == "punct" and token.text == ";":
+                self._next()
+                nxt = self._peek()
+                if nxt is not None and nxt.kind == "punct" and nxt.text in (".", "}"):
+                    break
+                continue
+            break
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.text == ".":
+            self._next()
+        return patterns
+
+    def _parse_solution_modifiers(self) -> int | None:
+        limit: int | None = None
+        while True:
+            token = self._peek()
+            if token is None or token.kind != "keyword":
+                return limit
+            if token.text == "LIMIT":
+                self._next()
+                number = self._expect("number")
+                limit = int(number.text)
+            elif token.text == "OFFSET":
+                self._next()
+                self._expect("number")
+            else:
+                return limit
+
+    def _parse_term(self, position: str):
+        token = self._next()
+        if token.kind == "var":
+            return Variable(token.text[1:])
+        if token.kind == "iri":
+            return IRI(token.text[1:-1])
+        if token.kind == "pname":
+            try:
+                return self.namespaces.expand(token.text)
+            except KeyError as exc:
+                raise SparqlSyntaxError(f"unknown prefix in {token.text!r}") from exc
+        if token.kind == "a":
+            if position != "predicate":
+                raise SparqlSyntaxError("'a' keyword is only valid in predicate position")
+            return RDF_TYPE
+        if token.kind == "literal":
+            return _parse_literal_token(token.text, self.namespaces)
+        if token.kind == "number":
+            datatype = XSD + ("decimal" if "." in token.text else "integer")
+            return Literal(token.text, datatype=datatype)
+        raise SparqlSyntaxError(f"unexpected token {token.text!r} while reading {position}")
+
+
+def _parse_literal_token(text: str, namespaces: NamespaceManager) -> Literal:
+    """Turn a literal token (with optional lang/datatype suffix) into a Literal."""
+    i = 1
+    while i < len(text):
+        if text[i] == "\\":
+            i += 2
+            continue
+        if text[i] == '"':
+            break
+        i += 1
+    raw = text[1:i]
+    value = raw.replace('\\"', '"').replace("\\n", "\n").replace("\\t", "\t").replace("\\\\", "\\")
+    suffix = text[i + 1 :]
+    if suffix.startswith("@"):
+        return Literal(value, language=suffix[1:])
+    if suffix.startswith("^^<"):
+        return Literal(value, datatype=suffix[3:-1])
+    if suffix.startswith("^^"):
+        try:
+            return Literal(value, datatype=namespaces.expand(suffix[2:]).value)
+        except (KeyError, ValueError):
+            return Literal(value, datatype=suffix[2:])
+    return Literal(value)
+
+
+def parse_sparql(text: str, namespaces: NamespaceManager | None = None) -> SelectQuery:
+    """Parse SPARQL query text into a :class:`SelectQuery`."""
+    return SparqlParser(namespaces).parse(text)

@@ -1,0 +1,61 @@
+"""Tokenizer for the SPARQL SELECT/WHERE fragment."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Token", "SparqlSyntaxError", "tokenize"]
+
+
+class SparqlSyntaxError(ValueError):
+    """Raised when the query text cannot be tokenized or parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token: a ``kind`` tag and the raw ``text``."""
+
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<keyword>(?i:\bSELECT\b|\bWHERE\b|\bDISTINCT\b|\bPREFIX\b|\bBASE\b|\bLIMIT\b|\bOFFSET\b|\bASK\b|\bFILTER\b|\bUNION\b|\bOPTIONAL\b))
+  | (?P<var>[?$][A-Za-z_][\w]*)
+  | (?P<iri><[^<>"{}|^`\\\x00-\x20]*>)
+  | (?P<literal>"(?:[^"\\]|\\.)*"(?:@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*|\^\^<[^<>\s]+>|\^\^[A-Za-z_][\w.-]*:[\w.-]+)?)
+  | (?P<number>[+-]?\d+(?:\.\d+)?)
+  | (?P<a>\ba\b)
+  | (?P<pname>(?:[A-Za-z_][\w-]*)?:[\w.%-]*)
+  | (?P<star>\*)
+  | (?P<punct>[{}.;,()])
+  | (?P<op>[<>=!&|+/-]+)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens for ``text``, skipping whitespace and comments."""
+    pos = 0
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            snippet = text[pos : pos + 20]
+            raise SparqlSyntaxError(f"unexpected character at offset {pos}: {snippet!r}")
+        kind = match.lastgroup or "unknown"
+        value = match.group()
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "keyword":
+            yield Token("keyword", value.upper(), match.start())
+        else:
+            yield Token(kind, value, match.start())

@@ -1,0 +1,165 @@
+"""Persistence for the offline stage: save and reload a built engine.
+
+The paper's offline stage (Section 3, Table 5) builds the multigraph
+database once and stores it on disk so that queries can be answered without
+re-parsing the RDF dump.  This module provides the same capability: the
+data multigraph and its three dictionaries are written to a single JSON
+document, and :func:`load_engine` rebuilds the index ensemble ``I`` from it
+(index construction is fast relative to RDF parsing, see Table 5, and the
+indexes are fully derived data).
+
+The format is deliberately explicit and versioned rather than pickled, so
+files remain portable across Python versions and library releases.
+
+Example::
+
+    engine = AmberEngine.from_ntriples_file("data.nt")
+    save_engine(engine, "data.amber.json")
+    ...
+    engine = load_engine("data.amber.json")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .amber.engine import AmberEngine, BuildReport
+from .amber.matching import MatcherConfig
+from .index.manager import IndexSet
+from .multigraph.builder import DataMultigraph
+from .rdf.terms import IRI, BlankNode, Literal
+
+__all__ = ["FORMAT_VERSION", "StorageError", "save_data_multigraph", "load_data_multigraph", "save_engine", "load_engine"]
+
+#: Version stamp written into every file; bumped on incompatible changes.
+FORMAT_VERSION = 1
+
+
+class StorageError(ValueError):
+    """Raised when a persisted multigraph file cannot be interpreted."""
+
+
+# --------------------------------------------------------------------------- #
+# term (de)serialization
+# --------------------------------------------------------------------------- #
+def _term_to_json(term) -> dict:
+    if isinstance(term, IRI):
+        return {"t": "iri", "v": term.value}
+    if isinstance(term, BlankNode):
+        return {"t": "bnode", "v": term.label}
+    if isinstance(term, Literal):
+        out = {"t": "lit", "v": term.value}
+        if term.datatype:
+            out["d"] = term.datatype
+        if term.language:
+            out["l"] = term.language
+        return out
+    raise StorageError(f"cannot serialize term of type {type(term).__name__}")
+
+
+def _term_from_json(data: dict):
+    kind = data.get("t")
+    if kind == "iri":
+        return IRI(data["v"])
+    if kind == "bnode":
+        return BlankNode(data["v"])
+    if kind == "lit":
+        return Literal(data["v"], datatype=data.get("d"), language=data.get("l"))
+    raise StorageError(f"unknown term tag {kind!r}")
+
+
+# --------------------------------------------------------------------------- #
+# data multigraph
+# --------------------------------------------------------------------------- #
+def save_data_multigraph(data: DataMultigraph, path: str | Path) -> int:
+    """Write the multigraph database to ``path``; return the file size in bytes."""
+    graph, dictionaries = data.graph, data.dictionaries
+    document = {
+        "format_version": FORMAT_VERSION,
+        "triple_count": data.triple_count,
+        "vertices": [_term_to_json(entity) for entity in dictionaries.vertices],
+        "edge_types": [predicate.value for predicate in dictionaries.edge_types],
+        "attributes": [
+            [predicate.value, _term_to_json(literal)]
+            for predicate, literal in dictionaries.attributes
+        ],
+        "edges": [
+            [source, target, sorted(types)] for source, target, types in graph.edges()
+        ],
+        "vertex_attributes": {
+            str(vertex): sorted(graph.attributes(vertex))
+            for vertex in graph.vertices()
+            if graph.attributes(vertex)
+        },
+    }
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return path.stat().st_size
+
+
+def load_data_multigraph(path: str | Path) -> DataMultigraph:
+    """Read a multigraph database previously written by :func:`save_data_multigraph`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"not a multigraph database file: {path}") from exc
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise StorageError(f"unsupported format version {version!r} (expected {FORMAT_VERSION})")
+
+    data = DataMultigraph()
+    data.triple_count = int(document.get("triple_count", 0))
+    for entity in document["vertices"]:
+        vertex_id = data.dictionaries.vertices.add(_term_from_json(entity))
+        data.graph.add_vertex(vertex_id)
+    for predicate in document["edge_types"]:
+        data.dictionaries.edge_types.add(IRI(predicate))
+    for predicate, literal in document["attributes"]:
+        literal_term = _term_from_json(literal)
+        if not isinstance(literal_term, Literal):
+            raise StorageError("attribute values must be literals")
+        data.dictionaries.attributes.add((IRI(predicate), literal_term))
+    for source, target, types in document["edges"]:
+        for edge_type in types:
+            data.graph.add_edge(int(source), int(target), int(edge_type))
+    for vertex, attributes in document.get("vertex_attributes", {}).items():
+        for attribute in attributes:
+            data.graph.add_attribute(int(vertex), int(attribute))
+    return data
+
+
+# --------------------------------------------------------------------------- #
+# engine-level helpers
+# --------------------------------------------------------------------------- #
+def save_engine(engine: AmberEngine, path: str | Path) -> int:
+    """Persist the engine's multigraph database; return the file size in bytes."""
+    return save_data_multigraph(engine.data, path)
+
+
+def load_engine(path: str | Path, config: MatcherConfig | None = None) -> AmberEngine:
+    """Load a persisted database and rebuild the index ensemble ``I = {A, S, N}``."""
+    import time
+
+    start = time.perf_counter()
+    data = load_data_multigraph(path)
+    database_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    indexes = IndexSet.build(data)
+    index_seconds = time.perf_counter() - start
+
+    stats = data.statistics()
+    report = BuildReport(
+        database_seconds=database_seconds,
+        index_seconds=index_seconds,
+        triples=stats["triples"],
+        vertices=stats["vertices"],
+        edges=stats["edges"],
+        edge_types=stats["edge_types"],
+        attributes=stats["attributes"],
+        index_items=indexes.report.total_items if indexes.report else 0,
+    )
+    return AmberEngine(data, indexes, report, config)

@@ -1,0 +1,39 @@
+"""Cooperative deadlines shared by every engine and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+from .errors import QueryTimeout
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A wall-clock budget checked cooperatively inside evaluation loops.
+
+    ``Deadline(None)`` never expires, so callers can thread a deadline
+    through unconditionally.
+    """
+
+    __slots__ = ("_expires_at", "seconds")
+
+    def __init__(self, seconds: float | None):
+        self.seconds = seconds
+        self._expires_at = None if seconds is None else time.perf_counter() + seconds
+
+    def check(self) -> None:
+        """Raise :class:`QueryTimeout` when the deadline has passed."""
+        if self._expires_at is not None and time.perf_counter() > self._expires_at:
+            raise QueryTimeout(f"query exceeded {self.seconds:.3f}s")
+
+    @property
+    def expired(self) -> bool:
+        """Return True when the deadline has passed (without raising)."""
+        return self._expires_at is not None and time.perf_counter() > self._expires_at
+
+    def remaining(self) -> float | None:
+        """Return the remaining seconds, or None for an unbounded deadline."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.perf_counter())

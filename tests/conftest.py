@@ -1,0 +1,62 @@
+"""Shared fixtures: the paper's running example (Figure 1) and small datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AmberEngine, TripleStore
+from repro.multigraph import build_data_multigraph
+
+#: The RDF tripleset of Figure 1a (Turtle form).  The foundedIn literal is
+#: "1994" as in the tripleset; Figure 2's query uses "1934", which the paper
+#: itself lists inconsistently — tests use the tripleset value.
+PAPER_TURTLE = """
+@prefix x: <http://dbpedia.org/resource/> .
+@prefix y: <http://dbpedia.org/ontology/> .
+
+x:London y:isPartOf x:England .
+x:England y:hasCapital x:London .
+x:Christopher_Nolan y:wasBornIn x:London .
+x:Christopher_Nolan y:livedIn x:England .
+x:Christopher_Nolan y:isPartOf x:Dark_Knight_Trilogy .
+x:London y:hasStadium x:WembleyStadium .
+x:WembleyStadium y:hasCapacityOf "90000" .
+x:Amy_Winehouse y:wasBornIn x:London .
+x:Amy_Winehouse y:diedIn x:London .
+x:Amy_Winehouse y:wasPartOf x:Music_Band .
+x:Music_Band y:hasName "MCA_Band" .
+x:Music_Band y:foundedIn "1994" .
+x:Music_Band y:wasFormedIn x:London .
+x:Amy_Winehouse y:livedIn x:United_States .
+x:Amy_Winehouse y:wasMarriedTo x:Blake_Fielder-Civil .
+x:Blake_Fielder-Civil y:livedIn x:United_States .
+"""
+
+PREFIXES = """
+PREFIX x: <http://dbpedia.org/resource/>
+PREFIX y: <http://dbpedia.org/ontology/>
+"""
+
+
+@pytest.fixture(scope="session")
+def paper_store() -> TripleStore:
+    """The Figure 1 tripleset loaded into a triple store."""
+    return TripleStore.from_turtle(PAPER_TURTLE)
+
+
+@pytest.fixture(scope="session")
+def paper_data(paper_store):
+    """The Figure 1 data multigraph."""
+    return build_data_multigraph(iter(paper_store))
+
+
+@pytest.fixture(scope="session")
+def paper_engine(paper_store) -> AmberEngine:
+    """An AMbER engine built over the Figure 1 dataset."""
+    return AmberEngine.from_store(paper_store)
+
+
+@pytest.fixture(scope="session")
+def prefixes() -> str:
+    """SPARQL prefix header matching the Figure 1 dataset."""
+    return PREFIXES

@@ -1,0 +1,203 @@
+"""Integration tests for the AMbER engine on the paper's running example."""
+
+import pytest
+
+from repro import AmberEngine, MatcherConfig, QueryTimeout
+from repro.rdf.terms import IRI
+from repro.sparql.algebra import Variable
+
+X = "http://dbpedia.org/resource/"
+
+
+def rows_as_names(result, variable):
+    return sorted(str(row[Variable(variable)]).rsplit("/", 1)[-1] for row in result)
+
+
+class TestBasicQueries:
+    def test_single_pattern(self, paper_engine, prefixes):
+        result = paper_engine.query(prefixes + "SELECT ?p WHERE { ?p y:livedIn ?where . }")
+        assert rows_as_names(result, "p") == ["Amy_Winehouse", "Blake_Fielder-Civil", "Christopher_Nolan"]
+
+    def test_constant_object(self, paper_engine, prefixes):
+        result = paper_engine.query(prefixes + "SELECT ?p WHERE { ?p y:livedIn x:United_States . }")
+        assert rows_as_names(result, "p") == ["Amy_Winehouse", "Blake_Fielder-Civil"]
+
+    def test_constant_subject(self, paper_engine, prefixes):
+        result = paper_engine.query(prefixes + "SELECT ?c WHERE { x:England y:hasCapital ?c . }")
+        assert rows_as_names(result, "c") == ["London"]
+
+    def test_literal_attribute(self, paper_engine, prefixes):
+        result = paper_engine.query(prefixes + 'SELECT ?s WHERE { ?s y:hasCapacityOf "90000" . }')
+        assert rows_as_names(result, "s") == ["WembleyStadium"]
+
+    def test_cyclic_pattern(self, paper_engine, prefixes):
+        result = paper_engine.query(
+            prefixes + "SELECT ?a ?b WHERE { ?a y:isPartOf ?b . ?b y:hasCapital ?a . }"
+        )
+        assert len(result) == 1
+        row = result.rows[0]
+        assert row[Variable("a")] == IRI(X + "London")
+        assert row[Variable("b")] == IRI(X + "England")
+
+    def test_star_with_attribute_satellite(self, paper_engine, prefixes):
+        result = paper_engine.query(
+            prefixes + 'SELECT ?c ?s WHERE { ?c y:hasStadium ?s . ?s y:hasCapacityOf "90000" . }'
+        )
+        assert len(result) == 1
+
+    def test_multi_edge_requirement(self, paper_engine, prefixes):
+        result = paper_engine.query(
+            prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:diedIn ?c . }"
+        )
+        assert rows_as_names(result, "p") == ["Amy_Winehouse"]
+
+    def test_homomorphism_allows_repeated_data_vertices(self, paper_engine, prefixes):
+        # ?a and ?b may both map to United_States-related vertices; more to the
+        # point, two different query variables may bind the same data vertex.
+        result = paper_engine.query(
+            prefixes + "SELECT ?a ?b WHERE { ?a y:livedIn ?x . ?b y:livedIn ?x . }"
+        )
+        pairs = {(str(row[Variable("a")]), str(row[Variable("b")])) for row in result}
+        assert (X + "Amy_Winehouse", X + "Amy_Winehouse") in pairs
+        assert (X + "Amy_Winehouse", X + "Blake_Fielder-Civil") in pairs
+
+    def test_ground_query_true(self, paper_engine, prefixes):
+        result = paper_engine.query(prefixes + "SELECT * WHERE { x:London y:isPartOf x:England . }")
+        assert len(result) == 1
+
+    def test_ground_query_false(self, paper_engine, prefixes):
+        result = paper_engine.query(prefixes + "SELECT * WHERE { x:England y:isPartOf x:London . }")
+        assert len(result) == 0
+
+    def test_empty_for_unknown_entities(self, paper_engine, prefixes):
+        assert len(paper_engine.query(prefixes + "SELECT ?p WHERE { ?p y:livedIn x:Atlantis . }")) == 0
+        assert len(paper_engine.query(prefixes + "SELECT ?p WHERE { ?p y:flewTo ?q . }")) == 0
+        assert len(paper_engine.query(prefixes + 'SELECT ?p WHERE { ?p y:hasName "Unknown" . }')) == 0
+
+    def test_distinct_and_limit(self, paper_engine, prefixes):
+        full = paper_engine.query(prefixes + "SELECT ?x WHERE { ?p y:livedIn ?x . }")
+        distinct = paper_engine.query(prefixes + "SELECT DISTINCT ?x WHERE { ?p y:livedIn ?x . }")
+        limited = paper_engine.query(prefixes + "SELECT ?x WHERE { ?p y:livedIn ?x . } LIMIT 1")
+        assert len(full) == 3
+        assert len(distinct) == 2
+        assert len(limited) == 1
+
+    def test_projection(self, paper_engine, prefixes):
+        result = paper_engine.query(prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }")
+        assert result.variables == [Variable("p")]
+        assert all(set(row.keys()) == {Variable("p")} for row in result)
+
+
+class TestComplexQueries:
+    def test_disconnected_components_cross_product(self, paper_engine, prefixes):
+        result = paper_engine.query(
+            prefixes + "SELECT ?a ?b WHERE { ?a y:hasStadium ?s . ?b y:wasMarriedTo ?c . }"
+        )
+        # One stadium owner (London) x one marriage (Amy) = 1 row.
+        assert len(result) == 1
+
+    def test_band_and_city_join(self, paper_engine, prefixes):
+        result = paper_engine.query(
+            prefixes
+            + """
+            SELECT ?p ?band ?city WHERE {
+              ?p y:wasPartOf ?band .
+              ?band y:wasFormedIn ?city .
+              ?band y:hasName "MCA_Band" .
+              ?p y:diedIn ?city .
+            }
+            """
+        )
+        assert len(result) == 1
+        row = result.rows[0]
+        assert row[Variable("band")] == IRI(X + "Music_Band")
+        assert row[Variable("city")] == IRI(X + "London")
+
+    def test_figure2_query_answers(self, paper_engine, prefixes):
+        """The Figure 2 query against the Figure 1 data (with the tripleset's literals)."""
+        result = paper_engine.query(
+            prefixes
+            + """
+            SELECT * WHERE {
+              ?X1 y:isPartOf ?X2 .
+              ?X2 y:hasCapital ?X1 .
+              ?X1 y:hasStadium ?X4 .
+              ?X3 y:wasBornIn ?X1 .
+              ?X3 y:diedIn ?X1 .
+              ?X3 y:wasMarriedTo ?X6 .
+              ?X3 y:wasPartOf ?X5 .
+              ?X5 y:wasFormedIn ?X1 .
+              ?X4 y:hasCapacityOf "90000" .
+              ?X5 y:hasName "MCA_Band" .
+              ?X5 y:foundedIn "1994" .
+              ?X3 y:livedIn x:United_States .
+            }
+            """
+        )
+        assert len(result) == 1
+        row = result.rows[0]
+        assert row[Variable("X1")] == IRI(X + "London")
+        assert row[Variable("X3")] == IRI(X + "Amy_Winehouse")
+        assert row[Variable("X5")] == IRI(X + "Music_Band")
+        assert row[Variable("X6")] == IRI(X + "Blake_Fielder-Civil")
+
+
+class TestEngineOptions:
+    def test_ask_and_count(self, paper_engine, prefixes):
+        assert paper_engine.ask(prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }")
+        assert not paper_engine.ask(prefixes + "SELECT ?p WHERE { ?p y:wasBornIn x:Atlantis . }")
+        assert paper_engine.count(prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }") == 2
+
+    def test_timeout_raises(self, paper_store, prefixes):
+        engine = AmberEngine.from_store(paper_store)
+        with pytest.raises(QueryTimeout):
+            engine.query(
+                prefixes + "SELECT * WHERE { ?a y:livedIn ?b . ?c y:wasBornIn ?d . }",
+                timeout_seconds=0.0,
+            )
+
+    def test_max_solutions_cap(self, paper_engine, prefixes):
+        result = paper_engine.query(
+            prefixes + "SELECT ?p ?x WHERE { ?p y:livedIn ?x . }", max_solutions=2
+        )
+        assert len(result) == 2
+
+    def test_ablation_configs_agree_with_default(self, paper_store, prefixes):
+        query = (
+            prefixes
+            + """
+            SELECT * WHERE {
+              ?X3 y:wasBornIn ?X1 . ?X3 y:diedIn ?X1 . ?X3 y:wasPartOf ?X5 .
+              ?X5 y:wasFormedIn ?X1 . ?X5 y:hasName "MCA_Band" .
+            }
+            """
+        )
+        reference = AmberEngine.from_store(paper_store).query(query)
+        for config in (
+            MatcherConfig(use_signature_index=False),
+            MatcherConfig(use_satellite_decomposition=False),
+            MatcherConfig(ordering="random"),
+        ):
+            engine = AmberEngine.from_store(paper_store, config=config)
+            assert engine.query(query).same_solutions(reference)
+
+    def test_build_report(self, paper_engine):
+        report = paper_engine.build_report
+        assert report is not None
+        assert report.triples == 16
+        assert report.vertices == 9
+        assert report.edges == 13
+        assert report.edge_types == 9
+        assert report.attributes == 3
+        assert set(report.as_dict()) >= {"database_seconds", "index_seconds"}
+
+    def test_engine_repr_and_statistics(self, paper_engine):
+        assert "vertices=9" in repr(paper_engine)
+        assert paper_engine.statistics()["triples"] == 16
+
+    def test_from_ntriples_roundtrip(self, paper_store, prefixes):
+        from repro.rdf.ntriples import serialize_ntriples
+
+        engine = AmberEngine.from_ntriples(serialize_ntriples(iter(paper_store)))
+        result = engine.query(prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }")
+        assert len(result) == 2

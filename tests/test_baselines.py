@@ -1,0 +1,116 @@
+"""Unit tests for the four baseline engines."""
+
+import pytest
+
+from repro import QueryTimeout
+from repro.baselines import (
+    FilterRefineEngine,
+    GraphBacktrackingEngine,
+    HashJoinEngine,
+    NestedLoopEngine,
+)
+from repro.sparql.algebra import Variable
+
+ENGINE_CLASSES = [NestedLoopEngine, HashJoinEngine, GraphBacktrackingEngine, FilterRefineEngine]
+
+
+@pytest.fixture(params=ENGINE_CLASSES, ids=lambda cls: cls.name)
+def baseline(request, paper_store):
+    return request.param(paper_store)
+
+
+class TestBaselineCorrectness:
+    def test_single_pattern(self, baseline, prefixes):
+        result = baseline.query(prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }")
+        names = {str(row[Variable("p")]).rsplit("/", 1)[-1] for row in result}
+        assert names == {"Amy_Winehouse", "Christopher_Nolan"}
+
+    def test_constant_object(self, baseline, prefixes):
+        result = baseline.query(prefixes + "SELECT ?p WHERE { ?p y:livedIn x:United_States . }")
+        assert len(result) == 2
+
+    def test_literal_pattern(self, baseline, prefixes):
+        result = baseline.query(prefixes + 'SELECT ?s WHERE { ?s y:hasName "MCA_Band" . }')
+        assert len(result) == 1
+
+    def test_join_query(self, baseline, prefixes):
+        result = baseline.query(
+            prefixes
+            + """
+            SELECT ?p ?band ?city WHERE {
+              ?p y:wasPartOf ?band .
+              ?band y:wasFormedIn ?city .
+              ?p y:diedIn ?city .
+            }
+            """
+        )
+        assert len(result) == 1
+
+    def test_cycle_query(self, baseline, prefixes):
+        result = baseline.query(
+            prefixes + "SELECT ?a ?b WHERE { ?a y:isPartOf ?b . ?b y:hasCapital ?a . }"
+        )
+        assert len(result) == 1
+
+    def test_empty_result(self, baseline, prefixes):
+        result = baseline.query(prefixes + "SELECT ?p WHERE { ?p y:wasBornIn x:Atlantis . }")
+        assert len(result) == 0
+
+    def test_ground_pattern(self, baseline, prefixes):
+        assert baseline.ask(prefixes + "SELECT * WHERE { x:London y:isPartOf x:England . }")
+        assert not baseline.ask(prefixes + "SELECT * WHERE { x:England y:isPartOf x:London . }")
+
+    def test_distinct_and_limit(self, baseline, prefixes):
+        distinct = baseline.query(prefixes + "SELECT DISTINCT ?x WHERE { ?p y:livedIn ?x . }")
+        limited = baseline.query(prefixes + "SELECT ?x WHERE { ?p y:livedIn ?x . } LIMIT 1")
+        assert len(distinct) == 2
+        assert len(limited) == 1
+
+    def test_count_and_repr(self, baseline, prefixes):
+        assert baseline.count(prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }") == 2
+        assert "16" in repr(baseline)
+
+    def test_timeout_raises(self, baseline, prefixes):
+        with pytest.raises(QueryTimeout):
+            baseline.query(
+                prefixes + "SELECT * WHERE { ?a y:livedIn ?b . ?c y:wasBornIn ?d . ?e y:isPartOf ?f . }",
+                timeout_seconds=0.0,
+            )
+
+    def test_variable_bound_to_literal_object(self, baseline, prefixes):
+        # Baselines follow full SPARQL semantics: a variable in object position
+        # can bind a literal.  (AMbER's multigraph model restricts object
+        # variables to resources; see DESIGN.md.)
+        result = baseline.query(prefixes + "SELECT ?name WHERE { x:Music_Band y:hasName ?name . }")
+        assert len(result) == 1
+
+
+class TestEngineSpecifics:
+    def test_hash_join_orders_selective_patterns_first(self, paper_store, prefixes):
+        engine = HashJoinEngine(paper_store)
+        query = engine.query(
+            prefixes + "SELECT ?p WHERE { ?p y:livedIn ?x . ?p y:wasMarriedTo ?q . }"
+        )
+        assert len(query) == 1
+
+    def test_filter_refine_builds_signatures(self, paper_store):
+        engine = FilterRefineEngine(paper_store)
+        assert engine._edge_signature  # populated offline
+        assert engine._attribute_signature
+
+    def test_nested_loop_respects_repeated_variable(self, paper_store, prefixes):
+        engine = NestedLoopEngine(paper_store)
+        result = engine.query(prefixes + "SELECT ?p ?c WHERE { ?p y:wasBornIn ?c . ?p y:diedIn ?c . }")
+        assert len(result) == 1
+
+    def test_backtracking_cross_component(self, paper_store, prefixes):
+        engine = GraphBacktrackingEngine(paper_store)
+        result = engine.query(
+            prefixes + "SELECT ?a ?b WHERE { ?a y:hasStadium ?s . ?b y:wasMarriedTo ?c . }"
+        )
+        assert len(result) == 1
+
+    def test_max_solutions(self, paper_store, prefixes):
+        engine = HashJoinEngine(paper_store)
+        result = engine.query(prefixes + "SELECT ?p WHERE { ?p y:livedIn ?x . }", max_solutions=2)
+        assert len(result) == 2

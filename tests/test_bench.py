@@ -1,0 +1,146 @@
+"""Unit tests for the benchmark runner, reporting and experiment definitions."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentScale,
+    build_dataset,
+    build_engines,
+    figure_experiment,
+    format_figure_series,
+    format_table,
+    format_workload_summary,
+    run_query,
+    run_workload,
+    table1_complex_queries,
+    table4_dataset_statistics,
+    table5_offline_stage,
+)
+from repro.bench.runner import QueryOutcome, WorkloadResult
+from repro.datasets import WorkloadGenerator
+
+#: Tiny scale used throughout these tests so the suite stays fast.
+TINY = ExperimentScale(
+    lubm_scale=1,
+    lubm_students_per_department=12,
+    yago_persons=80,
+    dbpedia_entities_per_domain=30,
+    queries_per_size=2,
+    timeout_seconds=5.0,
+    seed=3,
+)
+
+
+class TestRunner:
+    def test_run_query_records_time_and_rows(self, paper_store, prefixes):
+        engines = build_engines(paper_store, include=["AMbER"])
+        outcome = run_query(engines[0], prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }", 10.0)
+        assert outcome.answered
+        assert outcome.rows == 2
+        assert outcome.seconds >= 0
+
+    def test_run_query_timeout_marks_unanswered(self, paper_store, prefixes):
+        engines = build_engines(paper_store, include=["AMbER"])
+        outcome = run_query(engines[0], prefixes + "SELECT ?p ?x WHERE { ?p y:livedIn ?x . }", 0.0)
+        assert not outcome.answered
+        assert outcome.error == "timeout"
+
+    def test_run_workload_aggregates(self, paper_store, prefixes):
+        engines = build_engines(paper_store, include=["AMbER", "HashJoin"])
+        queries = [
+            prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }",
+            prefixes + "SELECT ?p WHERE { ?p y:livedIn x:United_States . }",
+        ]
+        results = run_workload(engines, queries, timeout_seconds=10.0)
+        assert set(results) == {"AMbER", "HashJoin"}
+        for result in results.values():
+            assert len(result.outcomes) == 2
+            assert result.unanswered_percentage == 0.0
+            assert result.average_seconds is not None
+            assert result.total_rows == 4
+
+    def test_workload_result_with_no_answers(self):
+        result = WorkloadResult("x", [QueryOutcome("x", answered=False, seconds=1.0, rows=0)])
+        assert result.average_seconds is None
+        assert result.unanswered_percentage == 100.0
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", None]], title="T")
+        assert "T" in text and "2.5000" in text and "n/a" in text
+
+    def test_format_workload_summary(self, paper_store, prefixes):
+        engines = build_engines(paper_store, include=["AMbER"])
+        results = run_workload(engines, [prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }"], 10.0)
+        text = format_workload_summary(results, "title")
+        assert "AMbER" in text
+
+    def test_format_figure_series(self):
+        series = {
+            10: {"AMbER": WorkloadResult("AMbER", [QueryOutcome("AMbER", True, 0.1, 5)])},
+            20: {"AMbER": WorkloadResult("AMbER", [QueryOutcome("AMbER", False, 1.0, 0)])},
+        }
+        time_panel = format_figure_series(series, "time", "Fig")
+        robustness_panel = format_figure_series(series, "unanswered", "Fig")
+        assert "10" in time_panel and "AMbER" in time_panel
+        assert "100.0" in robustness_panel
+
+    def test_format_figure_series_unknown_metric(self):
+        with pytest.raises(ValueError):
+            format_figure_series({}, "latency", "Fig")
+
+
+class TestExperiments:
+    def test_build_dataset_names(self):
+        for name in ("DBPEDIA", "YAGO", "LUBM", "lubm"):
+            store = build_dataset(name, TINY)
+            assert len(store) > 100
+        with pytest.raises(ValueError):
+            build_dataset("FREEBASE", TINY)
+
+    def test_build_engines_filter(self, paper_store):
+        assert len(build_engines(paper_store)) == 5
+        assert [e.name for e in build_engines(paper_store, include=["AMbER", "HashJoin"])] == [
+            "AMbER",
+            "HashJoin",
+        ]
+
+    def test_table4(self):
+        stats = table4_dataset_statistics(TINY)
+        assert set(stats) == {"DBPEDIA", "YAGO", "LUBM"}
+        for values in stats.values():
+            assert values["triples"] > 0
+            assert values["vertices"] > 0
+        assert stats["LUBM"]["edge_types"] < stats["DBPEDIA"]["edge_types"]
+
+    def test_table5(self):
+        report = table5_offline_stage(TINY)
+        for values in report.values():
+            assert values["database_seconds"] >= 0
+            assert values["index_seconds"] >= 0
+            assert values["index_items"] > 0
+
+    def test_table1(self):
+        results = table1_complex_queries(TINY, query_size=15, query_count=2, include=["AMbER", "HashJoin"])
+        assert set(results) == {"AMbER", "HashJoin"}
+        for result in results.values():
+            assert len(result.outcomes) == 2
+
+    def test_figure_experiment_small(self):
+        figure = figure_experiment(
+            "LUBM", "star", sizes=(5, 10), scale=TINY, include=["AMbER", "HashJoin"]
+        )
+        assert figure.dataset == "LUBM"
+        assert sorted(figure.series) == [5, 10]
+        assert figure.average_time("AMbER", 5) is not None
+        assert figure.unanswered("AMbER", 5) == 0.0
+        assert figure.average_time("Virtuoso", 5) is None
+
+    def test_workload_generation_on_experiment_datasets(self):
+        """Every experiment dataset must support star and complex queries up to size 50."""
+        for name in ("DBPEDIA", "YAGO", "LUBM"):
+            store = build_dataset(name, ExperimentScale())
+            generator = WorkloadGenerator(store, seed=1)
+            assert len(generator.star_query(50).query.patterns) == 50
+            assert len(generator.complex_query(50).query.patterns) == 50

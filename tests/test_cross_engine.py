@@ -1,0 +1,118 @@
+"""Cross-engine integration tests: all five engines must agree on solutions.
+
+The baselines implement standard BGP semantics directly over the triple
+store, so agreement on workloads generated from each dataset gives strong
+evidence that the multigraph transformation + index + matching pipeline of
+AMbER is correct.
+"""
+
+import pytest
+
+from repro import AmberEngine
+from repro.baselines import (
+    FilterRefineEngine,
+    GraphBacktrackingEngine,
+    HashJoinEngine,
+    NestedLoopEngine,
+)
+from repro.datasets import DbpediaGenerator, LubmGenerator, WorkloadGenerator, YagoGenerator
+
+
+def build_all_engines(store):
+    return [
+        AmberEngine.from_store(store),
+        NestedLoopEngine(store),
+        HashJoinEngine(store),
+        GraphBacktrackingEngine(store),
+        FilterRefineEngine(store),
+    ]
+
+
+def assert_engines_agree(engines, query, timeout=20.0, allow_timeout=False):
+    """Assert every engine returns the same solution set as the first one.
+
+    With ``allow_timeout`` a query that exceeds ``timeout`` on the reference
+    engine is skipped (returns False); the generated workloads occasionally
+    contain very unselective queries whose full enumeration is not a useful
+    correctness check.
+    """
+    from repro.errors import QueryTimeout
+
+    try:
+        reference = engines[0].query(query, timeout_seconds=timeout)
+    except QueryTimeout:
+        if allow_timeout:
+            return False
+        raise
+    compared_any = False
+    for other in engines[1:]:
+        try:
+            result = other.query(query, timeout_seconds=timeout)
+        except QueryTimeout:
+            if allow_timeout:
+                continue
+            raise
+        compared_any = True
+        assert result.same_solutions(reference), (
+            f"{other.name} disagrees with {engines[0].name} on:\n{query}\n"
+            f"{engines[0].name}: {len(reference)} rows, {other.name}: {len(result)} rows"
+        )
+    return compared_any
+
+
+class TestPaperDataset:
+    @pytest.fixture(scope="class")
+    def engines(self, paper_store):
+        return build_all_engines(paper_store)
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "SELECT ?p WHERE { ?p y:wasBornIn ?c . }",
+            "SELECT ?p ?c WHERE { ?p y:wasBornIn ?c . ?p y:diedIn ?c . }",
+            "SELECT ?a ?b WHERE { ?a y:isPartOf ?b . ?b y:hasCapital ?a . }",
+            'SELECT ?c ?s WHERE { ?c y:hasStadium ?s . ?s y:hasCapacityOf "90000" . }',
+            "SELECT ?p ?q WHERE { ?p y:wasMarriedTo ?q . ?p y:livedIn x:United_States . ?q y:livedIn x:United_States . }",
+            'SELECT ?p ?band WHERE { ?p y:wasPartOf ?band . ?band y:hasName "MCA_Band" . ?band y:wasFormedIn ?c . ?p y:diedIn ?c . }',
+            "SELECT ?a ?x ?b WHERE { ?a y:livedIn ?x . ?b y:livedIn ?x . }",
+            "SELECT DISTINCT ?x WHERE { ?p y:livedIn ?x . }",
+        ],
+    )
+    def test_agreement(self, engines, prefixes, query):
+        assert_engines_agree(engines, prefixes + query)
+
+
+class TestGeneratedWorkloads:
+    @pytest.mark.parametrize(
+        "generator_cls,kwargs",
+        [
+            (LubmGenerator, {"scale": 1, "students_per_department": 10, "seed": 11}),
+            (YagoGenerator, {"persons": 120, "cities": 25, "seed": 12}),
+            (DbpediaGenerator, {"entities_per_domain": 40, "seed": 13}),
+        ],
+        ids=["lubm", "yago", "dbpedia"],
+    )
+    @pytest.mark.parametrize("shape,size", [("star", 5), ("star", 10), ("complex", 5), ("complex", 10)])
+    def test_workload_agreement(self, generator_cls, kwargs, shape, size):
+        store = generator_cls(**kwargs).store()
+        engines = [
+            AmberEngine.from_store(store),
+            HashJoinEngine(store),
+            NestedLoopEngine(store),
+        ]
+        workload = WorkloadGenerator(store, seed=size).workload(shape, size, 3)
+        compared = sum(
+            1
+            for generated in workload
+            if assert_engines_agree(engines, generated.query, timeout=15.0, allow_timeout=True)
+        )
+        # The odd unselective query may exceed the comparison timeout, but at
+        # least part of the workload must actually have been cross-checked.
+        assert compared >= 1
+
+    def test_generated_queries_have_answers(self):
+        store = LubmGenerator(scale=1, students_per_department=10, seed=5).store()
+        engine = AmberEngine.from_store(store)
+        workload = WorkloadGenerator(store, seed=5).workload("complex", 8, 5)
+        for generated in workload:
+            assert engine.count(generated.query, timeout_seconds=20.0) >= 1

@@ -1,0 +1,95 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from repro.datasets import DbpediaGenerator, LubmGenerator, YagoGenerator
+from repro.rdf.terms import IRI, Literal
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        a = LubmGenerator(scale=1, seed=3).generate()
+        b = LubmGenerator(scale=1, seed=3).generate()
+        assert a == b
+
+    def test_different_seed_different_dataset(self):
+        a = YagoGenerator(persons=50, seed=1).generate()
+        b = YagoGenerator(persons=50, seed=2).generate()
+        assert a != b
+
+
+class TestLubm:
+    def test_scaling(self):
+        small = LubmGenerator(scale=1, seed=0).generate()
+        large = LubmGenerator(scale=3, seed=0).generate()
+        assert len(large) > 2 * len(small)
+
+    def test_predicate_vocabulary_is_small(self):
+        store = LubmGenerator(scale=1, seed=0).store()
+        # LUBM's shape: a handful of predicates (13 in the paper's LUBM100).
+        assert len(store.predicates()) <= 15
+
+    def test_schema_relations_present(self):
+        store = LubmGenerator(scale=1, seed=0).store()
+        predicates = {p.value.rsplit("/", 1)[-1] for p in store.predicates()}
+        assert {"worksFor", "memberOf", "advisor", "takesCourse", "teacherOf"} <= predicates
+
+    def test_every_student_has_an_advisor(self):
+        generator = LubmGenerator(scale=1, students_per_department=5, seed=0)
+        store = generator.store()
+        students = {
+            t.subject for t in store.triples(None, None, None)
+            if isinstance(t.subject, IRI) and "Student" in t.subject.value
+        }
+        advised = {t.subject for t in store.triples(None, generator.advisor, None)}
+        assert students == advised
+
+    def test_literals_present(self):
+        store = LubmGenerator(scale=1, seed=0).store()
+        assert any(isinstance(t.object, Literal) for t in store)
+
+
+class TestYago:
+    def test_predicate_vocabulary_shape(self):
+        store = YagoGenerator(persons=100, seed=0).store()
+        # YAGO's shape: ~44 predicates total (34 relations + 10 attributes);
+        # a small instance uses most of them.
+        assert 25 <= len(store.predicates()) <= 45
+
+    def test_hub_cities_have_high_in_degree(self):
+        generator = YagoGenerator(persons=300, cities=40, seed=0)
+        store = generator.store()
+        born = generator.relations["wasBornIn"]
+        by_city: dict = {}
+        for triple in store.triples(None, born, None):
+            by_city[triple.object] = by_city.get(triple.object, 0) + 1
+        counts = sorted(by_city.values(), reverse=True)
+        # Zipf-like skew: the top city receives far more links than the median.
+        assert counts[0] >= 5 * max(1, counts[len(counts) // 2])
+
+    def test_no_self_loops(self):
+        store = YagoGenerator(persons=80, seed=4).store()
+        assert all(t.subject != t.object for t in store)
+
+
+class TestDbpedia:
+    def test_wide_predicate_vocabulary(self):
+        store = DbpediaGenerator(entities_per_domain=150, seed=0).store()
+        # DBpedia's shape: a much wider vocabulary than LUBM/YAGO.
+        assert len(store.predicates()) > 60
+
+    def test_heterogeneous_types(self):
+        from repro.rdf.namespace import RDF_TYPE
+
+        store = DbpediaGenerator(entities_per_domain=30, seed=0).store()
+        types = {t.object for t in store.triples(None, RDF_TYPE, None)}
+        assert len(types) == 6
+
+    def test_no_self_loops(self):
+        store = DbpediaGenerator(entities_per_domain=50, seed=2).store()
+        assert all(t.subject != t.object for t in store)
+
+    def test_statistics_order_matches_paper(self):
+        """Relative Table-4 shape: DBPEDIA has the most edge types, LUBM the fewest."""
+        lubm = LubmGenerator(scale=1, seed=0).store().statistics()
+        yago = YagoGenerator(persons=150, seed=0).store().statistics()
+        dbpedia = DbpediaGenerator(entities_per_domain=80, seed=0).store().statistics()
+        assert lubm["edge_types"] < yago["edge_types"] < dbpedia["edge_types"]

@@ -1,0 +1,73 @@
+"""Unit tests for the vertex / edge-type / attribute dictionaries (Table 2)."""
+
+import pytest
+
+from repro.multigraph.dictionaries import GraphDictionaries, IdDictionary
+from repro.rdf.terms import IRI, Literal
+
+
+class TestIdDictionary:
+    def test_ids_are_dense_and_stable(self):
+        d = IdDictionary()
+        assert d.add("a") == 0
+        assert d.add("b") == 1
+        assert d.add("a") == 0
+        assert len(d) == 2
+
+    def test_inverse_mapping(self):
+        d = IdDictionary()
+        d.add("x")
+        d.add("y")
+        assert d.key_of(0) == "x"
+        assert d.key_of(1) == "y"
+
+    def test_id_of_unknown_raises(self):
+        d = IdDictionary()
+        with pytest.raises(KeyError):
+            d.id_of("missing")
+        assert d.get("missing") is None
+
+    def test_contains_and_iter(self):
+        d = IdDictionary()
+        d.add("a")
+        assert "a" in d
+        assert "b" not in d
+        assert list(d) == ["a"]
+
+    def test_items_in_id_order(self):
+        d = IdDictionary()
+        for key in ("c", "a", "b"):
+            d.add(key)
+        assert list(d.items()) == [("c", 0), ("a", 1), ("b", 2)]
+
+
+class TestGraphDictionaries:
+    def test_three_independent_id_spaces(self):
+        dicts = GraphDictionaries()
+        v = dicts.vertices.add(IRI("http://e/london"))
+        e = dicts.edge_types.add(IRI("http://e/isPartOf"))
+        a = dicts.attributes.add((IRI("http://e/capacity"), Literal("90000")))
+        assert v == 0 and e == 0 and a == 0
+
+    def test_inverse_lookups(self):
+        dicts = GraphDictionaries()
+        dicts.vertices.add(IRI("http://e/london"))
+        dicts.edge_types.add(IRI("http://e/isPartOf"))
+        dicts.attributes.add((IRI("http://e/capacity"), Literal("90000")))
+        assert dicts.vertex_entity(0) == IRI("http://e/london")
+        assert dicts.edge_type_entity(0) == IRI("http://e/isPartOf")
+        assert dicts.attribute_entity(0) == (IRI("http://e/capacity"), Literal("90000"))
+
+    def test_summary(self):
+        dicts = GraphDictionaries()
+        dicts.vertices.add(IRI("http://e/a"))
+        dicts.vertices.add(IRI("http://e/b"))
+        dicts.edge_types.add(IRI("http://e/p"))
+        assert dicts.summary() == {"vertices": 2, "edge_types": 1, "attributes": 0}
+
+    def test_paper_dictionary_sizes(self, paper_data):
+        dicts = paper_data.dictionaries
+        # Table 2: 9 vertices, 9 edge types, 3 attributes.
+        assert len(dicts.vertices) == 9
+        assert len(dicts.edge_types) == 9
+        assert len(dicts.attributes) == 3

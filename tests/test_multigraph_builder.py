@@ -1,0 +1,105 @@
+"""Unit tests for the RDF -> data multigraph transformation (Section 2.1.1)."""
+
+from repro.multigraph.builder import DataMultigraph, build_data_multigraph
+from repro.rdf.terms import IRI, Literal, Triple
+
+X = "http://dbpedia.org/resource/"
+Y = "http://dbpedia.org/ontology/"
+
+
+class TestTransformationProtocols:
+    def test_subject_and_iri_object_become_vertices(self):
+        data = build_data_multigraph(
+            [Triple(IRI(X + "London"), IRI(Y + "isPartOf"), IRI(X + "England"))]
+        )
+        assert data.graph.vertex_count() == 2
+        london = data.vertex_id(IRI(X + "London"))
+        england = data.vertex_id(IRI(X + "England"))
+        edge_type = data.edge_type_id(IRI(Y + "isPartOf"))
+        assert data.graph.has_edge(london, england, edge_type)
+
+    def test_literal_object_becomes_vertex_attribute(self):
+        data = build_data_multigraph(
+            [Triple(IRI(X + "WembleyStadium"), IRI(Y + "hasCapacityOf"), Literal("90000"))]
+        )
+        assert data.graph.vertex_count() == 1
+        stadium = data.vertex_id(IRI(X + "WembleyStadium"))
+        attribute = data.attribute_id(IRI(Y + "hasCapacityOf"), Literal("90000"))
+        assert attribute is not None
+        assert attribute in data.graph.attributes(stadium)
+        # No edge type is minted for a purely literal-valued predicate.
+        assert data.edge_type_id(IRI(Y + "hasCapacityOf")) is None
+
+    def test_same_predicate_different_literals_get_distinct_attributes(self):
+        data = build_data_multigraph(
+            [
+                Triple(IRI(X + "a"), IRI(Y + "hasName"), Literal("one")),
+                Triple(IRI(X + "b"), IRI(Y + "hasName"), Literal("two")),
+            ]
+        )
+        assert len(data.dictionaries.attributes) == 2
+
+    def test_reflexive_statement_recorded_as_attribute(self):
+        # Definition 1 forbids self-loops; the information is preserved as an attribute.
+        data = build_data_multigraph(
+            [Triple(IRI(X + "a"), IRI(Y + "sameAs"), IRI(X + "a"))]
+        )
+        vertex = data.vertex_id(IRI(X + "a"))
+        assert data.graph.vertex_count() == 1
+        assert len(data.graph.attributes(vertex)) == 1
+
+    def test_duplicate_triples_do_not_duplicate_edges(self):
+        triple = Triple(IRI(X + "a"), IRI(Y + "p"), IRI(X + "b"))
+        data = build_data_multigraph([triple, triple])
+        assert data.graph.multi_edge_count() == 1
+        assert data.triple_count == 2
+
+
+class TestPaperExample:
+    def test_figure1_multigraph_shape(self, paper_data):
+        graph = paper_data.graph
+        # Figure 1c: 9 vertices (v0..v8), 3 attributes (a0..a2), 13 resource edges.
+        assert graph.vertex_count() == 9
+        assert graph.multi_edge_count() == 13
+        assert len(paper_data.dictionaries.attributes) == 3
+        assert len(paper_data.dictionaries.edge_types) == 9
+
+    def test_london_multi_edge_from_amy(self, paper_data):
+        amy = paper_data.vertex_id(IRI(X + "Amy_Winehouse"))
+        london = paper_data.vertex_id(IRI(X + "London"))
+        born = paper_data.edge_type_id(IRI(Y + "wasBornIn"))
+        died = paper_data.edge_type_id(IRI(Y + "diedIn"))
+        # Amy -> London carries the multi-edge {wasBornIn, diedIn} ({t4, t5} in Fig. 1c).
+        assert paper_data.graph.edge_types(amy, london) == frozenset({born, died})
+
+    def test_music_band_attributes(self, paper_data):
+        band = paper_data.vertex_id(IRI(X + "Music_Band"))
+        name = paper_data.attribute_id(IRI(Y + "hasName"), Literal("MCA_Band"))
+        founded = paper_data.attribute_id(IRI(Y + "foundedIn"), Literal("1994"))
+        assert paper_data.graph.attributes(band) == frozenset({name, founded})
+
+    def test_inverse_vertex_mapping(self, paper_data):
+        london_id = paper_data.vertex_id(IRI(X + "London"))
+        assert paper_data.entity(london_id) == IRI(X + "London")
+
+    def test_statistics(self, paper_data):
+        stats = paper_data.statistics()
+        assert stats["triples"] == 16
+        assert stats["vertices"] == 9
+        assert stats["edges"] == 13
+        assert stats["attributes"] == 3
+
+
+class TestIncrementalApi:
+    def test_add_triples_incrementally(self):
+        data = DataMultigraph()
+        data.add_triple(Triple(IRI(X + "a"), IRI(Y + "p"), IRI(X + "b")))
+        data.add_triples([Triple(IRI(X + "b"), IRI(Y + "p"), IRI(X + "c"))])
+        assert data.graph.vertex_count() == 3
+        assert data.triple_count == 2
+
+    def test_unknown_lookups_return_none(self):
+        data = DataMultigraph()
+        assert data.vertex_id(IRI(X + "missing")) is None
+        assert data.edge_type_id(IRI(Y + "missing")) is None
+        assert data.attribute_id(IRI(Y + "missing"), Literal("x")) is None

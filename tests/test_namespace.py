@@ -1,0 +1,72 @@
+"""Unit tests for namespace and prefix management."""
+
+import pytest
+
+from repro.rdf.namespace import Namespace, NamespaceManager
+from repro.rdf.terms import IRI
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ex = Namespace("http://example.org/")
+        assert ex.thing == IRI("http://example.org/thing")
+
+    def test_item_access(self):
+        ex = Namespace("http://example.org/")
+        assert ex["has-dash"] == IRI("http://example.org/has-dash")
+
+    def test_contains(self):
+        ex = Namespace("http://example.org/")
+        assert IRI("http://example.org/a") in ex
+        assert IRI("http://other.org/a") not in ex
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+    def test_private_attribute_not_minted(self):
+        ex = Namespace("http://example.org/")
+        with pytest.raises(AttributeError):
+            ex._internal
+
+
+class TestNamespaceManager:
+    def test_bind_and_expand(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://example.org/")
+        assert manager.expand("ex:London") == IRI("http://example.org/London")
+
+    def test_expand_unknown_prefix_raises(self):
+        manager = NamespaceManager()
+        with pytest.raises(KeyError):
+            manager.expand("nope:thing")
+
+    def test_expand_requires_colon(self):
+        manager = NamespaceManager()
+        with pytest.raises(ValueError):
+            manager.expand("nocolon")
+
+    def test_compact_prefers_longest_base(self):
+        manager = NamespaceManager()
+        manager.bind("a", "http://example.org/")
+        manager.bind("b", "http://example.org/sub/")
+        assert manager.compact(IRI("http://example.org/sub/x")) == "b:x"
+        assert manager.compact(IRI("http://example.org/x")) == "a:x"
+
+    def test_compact_falls_back_to_full_iri(self):
+        manager = NamespaceManager()
+        assert manager.compact(IRI("http://other.org/x")) == "http://other.org/x"
+
+    def test_rebinding_prefix_replaces_old_base(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://old.org/")
+        manager.bind("ex", "http://new.org/")
+        assert manager.expand("ex:a") == IRI("http://new.org/a")
+        assert manager.compact(IRI("http://old.org/a")) == "http://old.org/a"
+
+    def test_len_and_contains(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://example.org/")
+        assert len(manager) == 1
+        assert "ex" in manager
+        assert "other" not in manager

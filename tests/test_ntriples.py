@@ -1,0 +1,96 @@
+"""Unit tests for the N-Triples parser and serializer."""
+
+import pytest
+
+from repro.rdf.ntriples import (
+    NTriplesParseError,
+    parse_ntriples,
+    parse_ntriples_file,
+    serialize_ntriples,
+    write_ntriples_file,
+)
+from repro.rdf.terms import IRI, BlankNode, Literal, Triple
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        doc = "<http://e/s> <http://e/p> <http://e/o> .\n"
+        (triple,) = list(parse_ntriples(doc))
+        assert triple == Triple(IRI("http://e/s"), IRI("http://e/p"), IRI("http://e/o"))
+
+    def test_literal_object(self):
+        doc = '<http://e/s> <http://e/p> "hello world" .'
+        (triple,) = list(parse_ntriples(doc))
+        assert triple.object == Literal("hello world")
+
+    def test_language_tag(self):
+        doc = '<http://e/s> <http://e/p> "bonjour"@fr .'
+        (triple,) = list(parse_ntriples(doc))
+        assert triple.object == Literal("bonjour", language="fr")
+
+    def test_datatype(self):
+        doc = '<http://e/s> <http://e/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        (triple,) = list(parse_ntriples(doc))
+        assert triple.object.datatype == "http://www.w3.org/2001/XMLSchema#integer"
+
+    def test_blank_nodes(self):
+        doc = "_:a <http://e/p> _:b ."
+        (triple,) = list(parse_ntriples(doc))
+        assert triple.subject == BlankNode("a")
+        assert triple.object == BlankNode("b")
+
+    def test_escaped_quotes_and_newlines(self):
+        doc = r'<http://e/s> <http://e/p> "line1\nline2 \"quoted\"" .'
+        (triple,) = list(parse_ntriples(doc))
+        assert triple.object.value == 'line1\nline2 "quoted"'
+
+    def test_unicode_escape(self):
+        doc = r'<http://e/s> <http://e/p> "café" .'
+        (triple,) = list(parse_ntriples(doc))
+        assert triple.object.value == "café"
+
+    def test_comments_and_blank_lines_skipped(self):
+        doc = "\n# a comment\n<http://e/s> <http://e/p> <http://e/o> .\n\n"
+        assert len(list(parse_ntriples(doc))) == 1
+
+    def test_multiple_lines(self):
+        doc = "\n".join(
+            f"<http://e/s{i}> <http://e/p> <http://e/o{i}> ." for i in range(10)
+        )
+        assert len(list(parse_ntriples(doc))) == 10
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(NTriplesParseError):
+            list(parse_ntriples("<http://e/s> <http://e/p> <http://e/o>"))
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(NTriplesParseError):
+            list(parse_ntriples('"s" <http://e/p> <http://e/o> .'))
+
+    def test_malformed_term_rejected(self):
+        with pytest.raises(NTriplesParseError):
+            list(parse_ntriples("http://e/s <http://e/p> <http://e/o> ."))
+
+    def test_error_reports_line_number(self):
+        doc = "<http://e/s> <http://e/p> <http://e/o> .\nbad line .\n"
+        with pytest.raises(NTriplesParseError) as excinfo:
+            list(parse_ntriples(doc))
+        assert "line 2" in str(excinfo.value)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        triples = [
+            Triple(IRI("http://e/s"), IRI("http://e/p"), IRI("http://e/o")),
+            Triple(IRI("http://e/s"), IRI("http://e/q"), Literal("a b", language="en")),
+            Triple(BlankNode("n1"), IRI("http://e/p"), Literal("42", datatype="http://t/int")),
+        ]
+        doc = serialize_ntriples(triples)
+        assert list(parse_ntriples(doc)) == triples
+
+    def test_file_round_trip(self, tmp_path):
+        triples = [Triple(IRI(f"http://e/s{i}"), IRI("http://e/p"), Literal(str(i))) for i in range(5)]
+        path = tmp_path / "data.nt"
+        written = write_ntriples_file(triples, path)
+        assert written == 5
+        assert parse_ntriples_file(path) == triples

@@ -1,0 +1,147 @@
+"""Unit tests for the SPARQL -> query multigraph transformation (Section 2.2.1)."""
+
+from repro.multigraph.query_graph import INCOMING, OUTGOING, build_query_multigraph
+from repro.rdf.terms import IRI
+from repro.sparql.algebra import Variable
+from repro.sparql.parser import parse_sparql
+
+X = "http://dbpedia.org/resource/"
+Y = "http://dbpedia.org/ontology/"
+
+
+def build(query_text, paper_data, prefixes):
+    return build_query_multigraph(parse_sparql(prefixes + query_text), paper_data)
+
+
+class TestStructure:
+    def test_variables_become_vertices(self, paper_data, prefixes):
+        qgraph = build("SELECT * WHERE { ?a y:isPartOf ?b . ?b y:hasCapital ?a . }", paper_data, prefixes)
+        assert len(qgraph) == 2
+        a = qgraph.vertex_id(Variable("a"))
+        b = qgraph.vertex_id(Variable("b"))
+        is_part_of = paper_data.edge_type_id(IRI(Y + "isPartOf"))
+        has_capital = paper_data.edge_type_id(IRI(Y + "hasCapital"))
+        assert qgraph.edge_types_between(a, b) == frozenset({is_part_of})
+        assert qgraph.edge_types_between(b, a) == frozenset({has_capital})
+
+    def test_repeated_predicates_merge_into_multi_edge(self, paper_data, prefixes):
+        qgraph = build(
+            "SELECT * WHERE { ?p y:wasBornIn ?c . ?p y:diedIn ?c . }", paper_data, prefixes
+        )
+        p = qgraph.vertex_id(Variable("p"))
+        c = qgraph.vertex_id(Variable("c"))
+        assert len(qgraph.edge_types_between(p, c)) == 2
+
+    def test_literal_object_becomes_attribute(self, paper_data, prefixes):
+        from repro.rdf.terms import Literal
+
+        qgraph = build('SELECT * WHERE { ?s y:hasCapacityOf "90000" . }', paper_data, prefixes)
+        vertex = qgraph.vertices[qgraph.vertex_id(Variable("s"))]
+        expected = paper_data.attribute_id(IRI(Y + "hasCapacityOf"), Literal("90000"))
+        assert vertex.attributes == {expected}
+        assert not vertex.unsatisfiable
+
+    def test_constant_iri_becomes_iri_constraint(self, paper_data, prefixes):
+        qgraph = build("SELECT * WHERE { ?p y:livedIn x:United_States . }", paper_data, prefixes)
+        vertex = qgraph.vertices[qgraph.vertex_id(Variable("p"))]
+        assert len(vertex.iri_constraints) == 1
+        constraint = vertex.iri_constraints[0]
+        assert constraint.direction == OUTGOING
+        assert constraint.data_vertex == paper_data.vertex_id(IRI(X + "United_States"))
+
+    def test_constant_subject_gives_incoming_constraint(self, paper_data, prefixes):
+        qgraph = build("SELECT * WHERE { x:England y:hasCapital ?c . }", paper_data, prefixes)
+        vertex = qgraph.vertices[qgraph.vertex_id(Variable("c"))]
+        assert vertex.iri_constraints[0].direction == INCOMING
+
+    def test_degree_counts_variable_neighbours_only(self, paper_data, prefixes):
+        qgraph = build(
+            'SELECT * WHERE { ?a y:wasPartOf ?b . ?a y:livedIn x:United_States . ?a y:hasCapacityOf "90000" . }',
+            paper_data,
+            prefixes,
+        )
+        a = qgraph.vertex_id(Variable("a"))
+        assert qgraph.degree(a) == 1
+
+    def test_multi_edge_signature_includes_iri_constraints(self, paper_data, prefixes):
+        qgraph = build(
+            "SELECT * WHERE { ?a y:wasPartOf ?b . ?a y:livedIn x:United_States . }",
+            paper_data,
+            prefixes,
+        )
+        a = qgraph.vertex_id(Variable("a"))
+        assert len(qgraph.multi_edge_signature(a)) == 2
+
+
+class TestSatisfiability:
+    def test_unknown_predicate_marks_vertices_unsatisfiable(self, paper_data, prefixes):
+        qgraph = build("SELECT * WHERE { ?a y:unknownPredicate ?b . }", paper_data, prefixes)
+        assert all(v.unsatisfiable for v in qgraph.vertices.values())
+
+    def test_unknown_literal_marks_vertex_unsatisfiable(self, paper_data, prefixes):
+        qgraph = build('SELECT * WHERE { ?s y:hasCapacityOf "999999" . }', paper_data, prefixes)
+        assert qgraph.vertices[0].unsatisfiable
+
+    def test_unknown_constant_iri_marks_vertex_unsatisfiable(self, paper_data, prefixes):
+        qgraph = build("SELECT * WHERE { ?p y:livedIn x:Atlantis . }", paper_data, prefixes)
+        assert qgraph.vertices[0].unsatisfiable
+
+    def test_self_loop_pattern_unsatisfiable(self, paper_data, prefixes):
+        qgraph = build("SELECT * WHERE { ?a y:isPartOf ?a . }", paper_data, prefixes)
+        assert qgraph.vertices[0].unsatisfiable
+
+    def test_ground_pattern_true(self, paper_data, prefixes):
+        qgraph = build("SELECT * WHERE { x:London y:isPartOf x:England . }", paper_data, prefixes)
+        assert not qgraph.unsatisfiable
+        assert len(qgraph.ground_checks) == 1
+
+    def test_ground_pattern_false(self, paper_data, prefixes):
+        qgraph = build("SELECT * WHERE { x:England y:isPartOf x:London . }", paper_data, prefixes)
+        assert qgraph.unsatisfiable
+
+    def test_ground_literal_pattern(self, paper_data, prefixes):
+        satisfied = build('SELECT * WHERE { x:WembleyStadium y:hasCapacityOf "90000" . }', paper_data, prefixes)
+        assert not satisfied.unsatisfiable
+        unsatisfied = build('SELECT * WHERE { x:London y:hasCapacityOf "90000" . }', paper_data, prefixes)
+        assert unsatisfied.unsatisfiable
+
+
+class TestComponents:
+    def test_single_component(self, paper_data, prefixes):
+        qgraph = build("SELECT * WHERE { ?a y:isPartOf ?b . ?b y:hasCapital ?a . }", paper_data, prefixes)
+        assert len(qgraph.connected_components()) == 1
+
+    def test_two_components(self, paper_data, prefixes):
+        qgraph = build(
+            "SELECT * WHERE { ?a y:isPartOf ?b . ?c y:livedIn ?d . }", paper_data, prefixes
+        )
+        assert len(qgraph.connected_components()) == 2
+
+    def test_paper_query_structure(self, paper_data, prefixes):
+        # The Figure 2 query: 7 variable vertices, u3 carries the IRI constraint.
+        qgraph = build(
+            """
+            SELECT * WHERE {
+              ?X0 y:livedIn ?X1 .
+              ?X1 y:isPartOf ?X2 .
+              ?X2 y:hasCapital ?X1 .
+              ?X1 y:hasStadium ?X4 .
+              ?X3 y:wasBornIn ?X1 .
+              ?X3 y:diedIn ?X1 .
+              ?X3 y:wasMarriedTo ?X6 .
+              ?X3 y:wasPartOf ?X5 .
+              ?X5 y:wasFormedIn ?X1 .
+              ?X4 y:hasCapacityOf "90000" .
+              ?X5 y:hasName "MCA_Band" .
+              ?X3 y:livedIn x:United_States .
+            }
+            """,
+            paper_data,
+            prefixes,
+        )
+        assert len(qgraph) == 7
+        x3 = qgraph.vertices[qgraph.vertex_id(Variable("X3"))]
+        assert len(x3.iri_constraints) == 1
+        x5 = qgraph.vertices[qgraph.vertex_id(Variable("X5"))]
+        assert x5.has_attributes
+        assert len(qgraph.connected_components()) == 1

@@ -1,0 +1,104 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+
+from repro.rdf.terms import IRI, BlankNode, Literal, Triple, is_iri, is_literal
+
+
+class TestIRI:
+    def test_value_round_trip(self):
+        iri = IRI("http://example.org/thing")
+        assert iri.value == "http://example.org/thing"
+        assert str(iri) == "http://example.org/thing"
+
+    def test_n3_serialization(self):
+        assert IRI("http://example.org/a").n3() == "<http://example.org/a>"
+
+    def test_equality_and_hashing(self):
+        assert IRI("http://example.org/a") == IRI("http://example.org/a")
+        assert IRI("http://example.org/a") != IRI("http://example.org/b")
+        assert len({IRI("http://example.org/a"), IRI("http://example.org/a")}) == 1
+
+    def test_empty_iri_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_immutable(self):
+        iri = IRI("http://example.org/a")
+        with pytest.raises(AttributeError):
+            iri.value = "other"
+
+
+class TestLiteral:
+    def test_plain_literal(self):
+        lit = Literal("90000")
+        assert lit.value == "90000"
+        assert lit.datatype is None
+        assert lit.language is None
+        assert lit.n3() == '"90000"'
+
+    def test_language_tagged_literal(self):
+        lit = Literal("London", language="en")
+        assert lit.n3() == '"London"@en'
+
+    def test_datatype_literal(self):
+        lit = Literal("42", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        assert lit.n3() == '"42"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_escaping_in_n3(self):
+        lit = Literal('say "hi"\nplease\t!')
+        assert lit.n3() == '"say \\"hi\\"\\nplease\\t!"'
+
+    def test_literals_with_different_datatypes_differ(self):
+        assert Literal("1") != Literal("1", datatype="http://www.w3.org/2001/XMLSchema#integer")
+
+
+class TestBlankNode:
+    def test_n3(self):
+        assert BlankNode("b0").n3() == "_:b0"
+
+    def test_equality(self):
+        assert BlankNode("x") == BlankNode("x")
+        assert BlankNode("x") != BlankNode("y")
+
+
+class TestTriple:
+    def test_valid_triple(self):
+        triple = Triple(IRI("http://e/s"), IRI("http://e/p"), Literal("o"))
+        assert triple.subject == IRI("http://e/s")
+        assert triple.object == Literal("o")
+
+    def test_iteration_order(self):
+        s, p, o = IRI("http://e/s"), IRI("http://e/p"), IRI("http://e/o")
+        assert list(Triple(s, p, o)) == [s, p, o]
+
+    def test_n3_line(self):
+        triple = Triple(IRI("http://e/s"), IRI("http://e/p"), Literal("x"))
+        assert triple.n3() == '<http://e/s> <http://e/p> "x" .'
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(Literal("s"), IRI("http://e/p"), IRI("http://e/o"))
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(IRI("http://e/s"), Literal("p"), IRI("http://e/o"))
+
+    def test_non_term_object_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(IRI("http://e/s"), IRI("http://e/p"), "not-a-term")
+
+    def test_blank_node_subject_allowed(self):
+        triple = Triple(BlankNode("b"), IRI("http://e/p"), IRI("http://e/o"))
+        assert triple.subject == BlankNode("b")
+
+
+class TestPredicates:
+    def test_is_iri(self):
+        assert is_iri(IRI("http://e/a"))
+        assert not is_iri(Literal("a"))
+        assert not is_iri("http://e/a")
+
+    def test_is_literal(self):
+        assert is_literal(Literal("a"))
+        assert not is_literal(IRI("http://e/a"))

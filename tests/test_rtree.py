@@ -1,0 +1,89 @@
+"""Unit tests for the bulk-loaded R-tree."""
+
+import random
+
+import pytest
+
+from repro.index.rtree import RTree
+
+
+def brute_force_dominating(points, query):
+    return {
+        payload
+        for point, payload in points
+        if all(p >= q for p, q in zip(point, query))
+    }
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RTree.bulk_load([], dimensions=3)
+        assert len(tree) == 0
+        assert list(tree.dominating((0, 0, 0))) == []
+        assert tree.height() == 0
+
+    def test_single_point(self):
+        tree = RTree.bulk_load([((1, 2), "a")], dimensions=2)
+        assert len(tree) == 1
+        assert [p for _, p in tree.dominating((0, 0))] == ["a"]
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RTree.bulk_load([((1, 2, 3), "a")], dimensions=2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RTree(0)
+        with pytest.raises(ValueError):
+            RTree(2, fanout=1)
+
+    def test_tree_is_multi_level_for_many_points(self):
+        points = [((float(i), float(i % 7)), i) for i in range(500)]
+        tree = RTree.bulk_load(points, dimensions=2, fanout=8)
+        assert tree.height() >= 2
+        assert tree.node_count() > 1
+        assert len(list(tree.all_entries())) == 500
+
+
+class TestDominanceQueries:
+    def test_query_dimension_mismatch_rejected(self):
+        tree = RTree.bulk_load([((1, 2), "a")], dimensions=2)
+        with pytest.raises(ValueError):
+            list(tree.dominating((1,)))
+
+    def test_matches_brute_force_on_random_points(self):
+        rng = random.Random(42)
+        points = [
+            (tuple(rng.randint(-5, 10) for _ in range(4)), index)
+            for index in range(300)
+        ]
+        tree = RTree.bulk_load(points, dimensions=4, fanout=8)
+        for _ in range(50):
+            query = tuple(rng.randint(-5, 10) for _ in range(4))
+            expected = brute_force_dominating(points, query)
+            actual = {payload for _, payload in tree.dominating(query)}
+            assert actual == expected
+
+    def test_negative_infinity_bounds(self):
+        points = [((1.0, -3.0), "a"), ((2.0, 0.0), "b")]
+        tree = RTree.bulk_load(points, dimensions=2)
+        results = {p for _, p in tree.dominating((0.0, float("-inf")))}
+        assert results == {"a", "b"}
+
+
+class TestRangeQueries:
+    def test_range_query_box(self):
+        points = [((float(i), float(j)), (i, j)) for i in range(10) for j in range(10)]
+        tree = RTree.bulk_load(points, dimensions=2, fanout=4)
+        inside = {p for _, p in tree.range_query((2, 3), (4, 5))}
+        assert inside == {(i, j) for i in range(2, 5) for j in range(3, 6)}
+
+    def test_range_query_bound_mismatch(self):
+        tree = RTree.bulk_load([((1, 2), "a")], dimensions=2)
+        with pytest.raises(ValueError):
+            list(tree.range_query((0,), (1, 2)))
+
+    def test_range_query_empty_box(self):
+        points = [((float(i), float(i)), i) for i in range(20)]
+        tree = RTree.bulk_load(points, dimensions=2)
+        assert list(tree.range_query((100, 100), (200, 200))) == []

@@ -1,0 +1,102 @@
+"""Unit tests for solution bindings and result sets."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal
+from repro.sparql.algebra import SelectQuery, TriplePattern, Variable
+from repro.sparql.bindings import Binding, ResultSet
+
+A = IRI("http://e/a")
+B = IRI("http://e/b")
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestBinding:
+    def test_mapping_interface(self):
+        binding = Binding({X: A, Y: B})
+        assert binding[X] == A
+        assert len(binding) == 2
+        assert set(binding) == {X, Y}
+        assert binding.get(Z) is None
+
+    def test_get_name(self):
+        binding = Binding({X: A})
+        assert binding.get_name("x") == A
+        assert binding.get_name("missing", B) == B
+
+    def test_project(self):
+        binding = Binding({X: A, Y: B})
+        assert binding.project([X]) == Binding({X: A})
+        assert binding.project([X, Z]) == Binding({X: A})
+
+    def test_merge_compatible(self):
+        merged = Binding({X: A}).merge(Binding({Y: B}))
+        assert merged == Binding({X: A, Y: B})
+
+    def test_merge_conflicting_returns_none(self):
+        assert Binding({X: A}).merge(Binding({X: B})) is None
+
+    def test_merge_identical_value_ok(self):
+        assert Binding({X: A}).merge(Binding({X: A})) == Binding({X: A})
+
+    def test_hash_and_equality(self):
+        assert hash(Binding({X: A})) == hash(Binding({X: A}))
+        assert Binding({X: A}) == {X: A}
+        assert Binding({X: A}) != Binding({X: B})
+
+    def test_usable_in_sets(self):
+        rows = {Binding({X: A}), Binding({X: A}), Binding({X: B})}
+        assert len(rows) == 2
+
+
+class TestResultSet:
+    def _query(self, distinct=False, limit=None, projection=(X,)):
+        return SelectQuery(
+            patterns=[TriplePattern(X, IRI("http://e/p"), Y)],
+            projection=list(projection),
+            distinct=distinct,
+            limit=limit,
+        )
+
+    def test_projection(self):
+        rows = [Binding({X: A, Y: B})]
+        result = ResultSet.for_query(self._query(), rows)
+        assert result.rows == [Binding({X: A})]
+        assert result.variables == [X]
+
+    def test_distinct(self):
+        rows = [Binding({X: A, Y: B}), Binding({X: A, Y: A})]
+        result = ResultSet.for_query(self._query(distinct=True), rows)
+        assert len(result) == 1
+
+    def test_without_distinct_duplicates_kept(self):
+        rows = [Binding({X: A, Y: B}), Binding({X: A, Y: A})]
+        result = ResultSet.for_query(self._query(), rows)
+        assert len(result) == 2
+
+    def test_limit(self):
+        rows = [Binding({X: IRI(f"http://e/{i}")}) for i in range(10)]
+        result = ResultSet.for_query(self._query(limit=3), rows)
+        assert len(result) == 3
+
+    def test_same_solutions_is_order_insensitive(self):
+        left = ResultSet([X], [Binding({X: A}), Binding({X: B})])
+        right = ResultSet([X], [Binding({X: B}), Binding({X: A})])
+        assert left.same_solutions(right)
+        assert not left.same_solutions(ResultSet([X], [Binding({X: A})]))
+
+    def test_to_table_contains_values(self):
+        result = ResultSet([X], [Binding({X: A})])
+        table = result.to_table()
+        assert "?x" in table
+        assert "http://e/a" in table
+
+    def test_to_table_truncates(self):
+        rows = [Binding({X: IRI(f"http://e/{i}")}) for i in range(30)]
+        table = ResultSet([X], rows).to_table(max_rows=5)
+        assert "more rows" in table
+
+    def test_iteration_and_contains(self):
+        result = ResultSet([X], [Binding({X: A})])
+        assert list(result) == [Binding({X: A})]
+        assert Binding({X: A}) in result

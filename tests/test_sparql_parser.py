@@ -1,0 +1,152 @@
+"""Unit tests for the SPARQL tokenizer and parser."""
+
+import pytest
+
+from repro.rdf.namespace import RDF_TYPE
+from repro.rdf.terms import IRI, Literal
+from repro.sparql.algebra import SelectQuery, TriplePattern, Variable
+from repro.sparql.parser import SparqlSyntaxError, parse_sparql
+
+
+class TestBasicQueries:
+    def test_single_pattern(self):
+        query = parse_sparql("SELECT ?s WHERE { ?s <http://e/p> <http://e/o> . }")
+        assert query.projection == [Variable("s")]
+        assert query.patterns == [TriplePattern(Variable("s"), IRI("http://e/p"), IRI("http://e/o"))]
+
+    def test_prefixed_names(self):
+        query = parse_sparql(
+            "PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:p ex:o . }"
+        )
+        assert query.patterns[0].predicate == IRI("http://e/p")
+        assert query.patterns[0].object == IRI("http://e/o")
+
+    def test_select_star(self):
+        query = parse_sparql("SELECT * WHERE { ?s <http://e/p> ?o . }")
+        assert query.projection == []
+        assert query.answer_variables() == [Variable("s"), Variable("o")]
+
+    def test_multiple_patterns(self):
+        query = parse_sparql(
+            """
+            PREFIX ex: <http://e/>
+            SELECT ?a ?b WHERE {
+              ?a ex:p ?b .
+              ?b ex:q ex:target .
+              ?a ex:name "Alice" .
+            }
+            """
+        )
+        assert len(query.patterns) == 3
+        assert query.patterns[2].object == Literal("Alice")
+
+    def test_literal_with_datatype_and_language(self):
+        query = parse_sparql(
+            'PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:age "7"^^<http://www.w3.org/2001/XMLSchema#int> . '
+            '?s ex:label "sept"@fr . }'
+        )
+        assert query.patterns[0].object.datatype == "http://www.w3.org/2001/XMLSchema#int"
+        assert query.patterns[1].object.language == "fr"
+
+    def test_a_keyword(self):
+        query = parse_sparql("PREFIX ex: <http://e/> SELECT ?s WHERE { ?s a ex:Person . }")
+        assert query.patterns[0].predicate == RDF_TYPE
+
+    def test_distinct_and_limit(self):
+        query = parse_sparql("SELECT DISTINCT ?s WHERE { ?s <http://e/p> ?o . } LIMIT 5")
+        assert query.distinct
+        assert query.limit == 5
+
+    def test_predicate_and_object_lists(self):
+        query = parse_sparql(
+            "PREFIX ex: <http://e/> SELECT * WHERE { ?s ex:p ?a , ?b ; ex:q ?c . }"
+        )
+        assert len(query.patterns) == 3
+        assert {p.predicate.value for p in query.patterns} == {"http://e/p", "http://e/q"}
+
+    def test_dollar_variables(self):
+        query = parse_sparql("SELECT $s WHERE { $s <http://e/p> $o . }")
+        assert query.projection == [Variable("s")]
+
+    def test_numeric_object(self):
+        query = parse_sparql("PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:age 42 . }")
+        assert query.patterns[0].object.value == "42"
+
+    def test_paper_query_parses(self, prefixes):
+        query = parse_sparql(
+            prefixes
+            + """
+            SELECT ?X0 ?X1 ?X2 WHERE {
+              ?X0 y:livedIn ?X1 .
+              ?X1 y:isPartOf ?X2 .
+              ?X2 y:hasCapital ?X1 .
+              ?X5 y:hasName "MCA_Band" .
+              ?X3 y:livedIn x:United_States .
+            }
+            """
+        )
+        assert len(query.patterns) == 5
+        assert len(query.variables()) == 5
+        assert query.answer_variables() == [Variable("X0"), Variable("X1"), Variable("X2")]
+
+
+class TestErrors:
+    def test_unknown_prefix(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT ?s WHERE { ?s ex:p ?o . }")
+
+    def test_missing_where(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT ?s { ?s <http://e/p> ?o . }")
+
+    def test_unterminated_group(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT ?s WHERE { ?s <http://e/p> ?o .")
+
+    def test_filter_rejected_with_clear_message(self):
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            parse_sparql("SELECT ?s WHERE { ?s <http://e/p> ?o . FILTER(?o > 3) }")
+        assert "FILTER" in str(excinfo.value)
+
+    def test_variable_predicate_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT ?s WHERE { ?s ?p ?o . }")
+
+    def test_non_select_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("ASK WHERE { ?s <http://e/p> ?o . }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT ?s WHERE { ?s <http://e/p> ?o . } extra")
+
+
+class TestAlgebra:
+    def test_variables_in_first_appearance_order(self):
+        query = parse_sparql("SELECT * WHERE { ?b <http://e/p> ?a . ?a <http://e/q> ?c . }")
+        assert query.variables() == [Variable("b"), Variable("a"), Variable("c")]
+
+    def test_constant_terms(self):
+        query = parse_sparql(
+            'PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:p ex:o . ?s ex:name "x" . }'
+        )
+        assert query.constant_terms() == {IRI("http://e/o"), Literal("x")}
+
+    def test_pattern_validation(self):
+        with pytest.raises(TypeError):
+            TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        with pytest.raises(TypeError):
+            TriplePattern(Literal("s"), IRI("http://e/p"), Variable("o"))
+
+    def test_str_round_trips_through_parser(self):
+        query = parse_sparql(
+            'PREFIX ex: <http://e/> SELECT DISTINCT ?s WHERE { ?s ex:p ex:o . ?s ex:name "x" . } LIMIT 3'
+        )
+        reparsed = parse_sparql(str(query))
+        assert reparsed.patterns == query.patterns
+        assert reparsed.distinct == query.distinct
+        assert reparsed.limit == query.limit
+
+    def test_select_query_len(self):
+        query = SelectQuery(patterns=[TriplePattern(Variable("s"), IRI("http://e/p"), Variable("o"))])
+        assert len(query) == 1

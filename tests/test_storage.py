@@ -1,0 +1,89 @@
+"""Unit tests for persisting and reloading the multigraph database."""
+
+import json
+
+import pytest
+
+from repro import AmberEngine
+from repro.datasets import LubmGenerator
+from repro.storage import (
+    FORMAT_VERSION,
+    StorageError,
+    load_data_multigraph,
+    load_engine,
+    save_data_multigraph,
+    save_engine,
+)
+
+
+class TestDataMultigraphRoundTrip:
+    def test_round_trip_preserves_structure(self, paper_data, tmp_path):
+        path = tmp_path / "paper.amber.json"
+        size = save_data_multigraph(paper_data, path)
+        assert size > 0
+        loaded = load_data_multigraph(path)
+        assert loaded.statistics() == paper_data.statistics()
+        # Dictionaries keep the same ids, so entities round-trip exactly.
+        for vertex in paper_data.graph.vertices():
+            assert loaded.entity(vertex) == paper_data.entity(vertex)
+            assert loaded.graph.attributes(vertex) == paper_data.graph.attributes(vertex)
+        assert set(loaded.graph.edges()) == set(paper_data.graph.edges())
+
+    def test_round_trip_on_generated_dataset(self, tmp_path):
+        store = LubmGenerator(scale=1, students_per_department=8, seed=2).store()
+        original = AmberEngine.from_store(store).data
+        path = tmp_path / "lubm.amber.json"
+        save_data_multigraph(original, path)
+        loaded = load_data_multigraph(path)
+        assert loaded.statistics() == original.statistics()
+
+    def test_format_is_versioned_json(self, paper_data, tmp_path):
+        path = tmp_path / "paper.amber.json"
+        save_data_multigraph(paper_data, path)
+        document = json.loads(path.read_text())
+        assert document["format_version"] == FORMAT_VERSION
+        assert document["triple_count"] == 16
+
+
+class TestEngineRoundTrip:
+    def test_reloaded_engine_answers_identically(self, paper_engine, prefixes, tmp_path):
+        path = tmp_path / "engine.amber.json"
+        save_engine(paper_engine, path)
+        reloaded = load_engine(path)
+        queries = [
+            "SELECT ?p WHERE { ?p y:wasBornIn ?c . }",
+            "SELECT ?p ?c WHERE { ?p y:wasBornIn ?c . ?p y:diedIn ?c . }",
+            'SELECT ?s WHERE { ?s y:hasCapacityOf "90000" . }',
+            "SELECT ?p WHERE { ?p y:livedIn x:United_States . }",
+        ]
+        for query in queries:
+            assert reloaded.query(prefixes + query).same_solutions(paper_engine.query(prefixes + query))
+
+    def test_reloaded_engine_has_build_report(self, paper_engine, tmp_path):
+        path = tmp_path / "engine.amber.json"
+        save_engine(paper_engine, path)
+        reloaded = load_engine(path)
+        assert reloaded.build_report is not None
+        assert reloaded.build_report.triples == 16
+        assert reloaded.build_report.vertices == 9
+
+
+class TestErrors:
+    def test_not_json_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("this is not json")
+        with pytest.raises(StorageError):
+            load_data_multigraph(path)
+
+    def test_wrong_version_rejected(self, paper_data, tmp_path):
+        path = tmp_path / "old.json"
+        save_data_multigraph(paper_data, path)
+        document = json.loads(path.read_text())
+        document["format_version"] = FORMAT_VERSION + 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(StorageError):
+            load_data_multigraph(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_data_multigraph(tmp_path / "does-not-exist.json")

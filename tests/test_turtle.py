@@ -1,0 +1,122 @@
+"""Unit tests for the Turtle-subset parser."""
+
+import pytest
+
+from repro.rdf.namespace import RDF_TYPE, XSD
+from repro.rdf.terms import IRI, BlankNode, Literal, Triple
+from repro.rdf.turtle import TurtleParseError, parse_turtle
+
+
+class TestBasics:
+    def test_prefixed_names(self):
+        doc = """
+        @prefix ex: <http://example.org/> .
+        ex:a ex:knows ex:b .
+        """
+        (triple,) = parse_turtle(doc)
+        assert triple == Triple(IRI("http://example.org/a"), IRI("http://example.org/knows"), IRI("http://example.org/b"))
+
+    def test_sparql_style_prefix(self):
+        doc = """
+        PREFIX ex: <http://example.org/>
+        ex:a ex:p ex:b .
+        """
+        (triple,) = parse_turtle(doc)
+        assert triple.subject == IRI("http://example.org/a")
+
+    def test_full_iris(self):
+        doc = "<http://e/s> <http://e/p> <http://e/o> ."
+        (triple,) = parse_turtle(doc)
+        assert triple.predicate == IRI("http://e/p")
+
+    def test_literal_objects(self):
+        doc = '@prefix ex: <http://e/> . ex:s ex:p "hello" .'
+        (triple,) = parse_turtle(doc)
+        assert triple.object == Literal("hello")
+
+    def test_typed_and_tagged_literals(self):
+        doc = (
+            '@prefix ex: <http://e/> .\n'
+            'ex:s ex:p "42"^^<http://www.w3.org/2001/XMLSchema#int> .\n'
+            'ex:s ex:q "chat"@fr .'
+        )
+        triples = parse_turtle(doc)
+        assert triples[0].object.datatype == "http://www.w3.org/2001/XMLSchema#int"
+        assert triples[1].object.language == "fr"
+
+    def test_bare_numbers_and_booleans(self):
+        doc = "@prefix ex: <http://e/> . ex:s ex:count 42 ; ex:ratio 3.5 ; ex:flag true ."
+        triples = parse_turtle(doc)
+        assert triples[0].object == Literal("42", datatype=XSD + "integer")
+        assert triples[1].object == Literal("3.5", datatype=XSD + "decimal")
+        assert triples[2].object == Literal("true", datatype=XSD + "boolean")
+
+    def test_a_keyword_maps_to_rdf_type(self):
+        doc = "@prefix ex: <http://e/> . ex:s a ex:Thing ."
+        (triple,) = parse_turtle(doc)
+        assert triple.predicate == RDF_TYPE
+
+    def test_blank_node_terms(self):
+        doc = "@prefix ex: <http://e/> . _:x ex:p _:y ."
+        (triple,) = parse_turtle(doc)
+        assert triple.subject == BlankNode("x")
+        assert triple.object == BlankNode("y")
+
+
+class TestListsAndComments:
+    def test_predicate_list(self):
+        doc = "@prefix ex: <http://e/> . ex:s ex:p ex:a ; ex:q ex:b ."
+        triples = parse_turtle(doc)
+        assert len(triples) == 2
+        assert {t.predicate.value for t in triples} == {"http://e/p", "http://e/q"}
+        assert all(t.subject == IRI("http://e/s") for t in triples)
+
+    def test_object_list(self):
+        doc = "@prefix ex: <http://e/> . ex:s ex:p ex:a , ex:b , ex:c ."
+        triples = parse_turtle(doc)
+        assert len(triples) == 3
+        assert {t.object.value for t in triples} == {"http://e/a", "http://e/b", "http://e/c"}
+
+    def test_trailing_semicolon_before_dot(self):
+        doc = "@prefix ex: <http://e/> . ex:s ex:p ex:a ; ."
+        assert len(parse_turtle(doc)) == 1
+
+    def test_comments_ignored(self):
+        doc = """
+        @prefix ex: <http://e/> . # namespace
+        # full line comment
+        ex:s ex:p ex:o .  # trailing comment
+        """
+        assert len(parse_turtle(doc)) == 1
+
+
+class TestErrors:
+    def test_unknown_prefix(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle("ex:s ex:p ex:o .")
+
+    def test_missing_final_dot(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle("@prefix ex: <http://e/> . ex:s ex:p ex:o")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle('@prefix ex: <http://e/> . "s" ex:p ex:o .')
+
+    def test_a_in_subject_position_rejected(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle("@prefix ex: <http://e/> . a ex:p ex:o .")
+
+    def test_base_unsupported(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle("@base <http://e/> .")
+
+
+class TestPaperExample:
+    def test_paper_dataset_parses_to_sixteen_triples(self):
+        from tests.conftest import PAPER_TURTLE
+
+        triples = parse_turtle(PAPER_TURTLE)
+        assert len(triples) == 16
+        literals = [t for t in triples if isinstance(t.object, Literal)]
+        assert len(literals) == 3

@@ -1,0 +1,137 @@
+"""Unit tests for the query workload generator (Section 7.2)."""
+
+import pytest
+
+from repro.datasets import LubmGenerator, WorkloadConfig, WorkloadGenerator, YagoGenerator
+from repro.rdf.terms import IRI, Literal
+from repro.sparql.algebra import Variable
+
+
+@pytest.fixture(scope="module")
+def lubm_store():
+    return LubmGenerator(scale=1, students_per_department=30, seed=1).store()
+
+
+@pytest.fixture(scope="module")
+def generator(lubm_store):
+    return WorkloadGenerator(lubm_store, seed=42)
+
+
+class TestStarQueries:
+    def test_requested_size(self, generator):
+        for size in (5, 10, 20):
+            query = generator.star_query(size)
+            assert len(query.query.patterns) == size
+            assert query.shape == "star"
+            assert query.size == size
+
+    def test_star_structure_shares_centre(self, generator):
+        generated = generator.star_query(10)
+        centre_terms = set()
+        for triple in generated.source_triples:
+            centre_terms.add(triple.subject)
+            centre_terms.add(triple.object)
+        assert generated.seed_entity in centre_terms
+        # Every source triple touches the seed entity.
+        for triple in generated.source_triples:
+            assert generated.seed_entity in (triple.subject, triple.object)
+
+    def test_impossible_size_raises(self, generator):
+        with pytest.raises(ValueError):
+            generator.star_query(10_000)
+
+
+class TestComplexQueries:
+    def test_requested_size(self, generator):
+        for size in (5, 10, 25):
+            query = generator.complex_query(size)
+            assert len(query.query.patterns) == size
+
+    def test_patterns_form_connected_structure(self, generator):
+        generated = generator.complex_query(15)
+        # Union-find over the source triples: they must form one connected component.
+        parent = {}
+
+        def find(x):
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a, b):
+            parent[find(a)] = find(b)
+
+        for triple in generated.source_triples:
+            union(triple.subject, triple.subject)
+            if not isinstance(triple.object, Literal):
+                union(triple.subject, triple.object)
+            else:
+                union(triple.subject, triple.subject)
+        roots = {find(t.subject) for t in generated.source_triples}
+        assert len(roots) == 1
+
+
+class TestAssembly:
+    def test_queries_are_satisfiable_by_construction(self, lubm_store, generator):
+        from repro.baselines import HashJoinEngine
+
+        engine = HashJoinEngine(lubm_store)
+        for shape in ("star", "complex"):
+            for generated in generator.workload(shape, 8, 3):
+                assert len(engine.query(generated.query, timeout_seconds=30)) >= 1
+
+    def test_variable_cap_respected(self, lubm_store):
+        """The cap bounds leaf variables; interior resources must stay variables."""
+        config = WorkloadConfig(max_variables=4)
+        generator = WorkloadGenerator(lubm_store, seed=9, config=config)
+        for generated in generator.workload("complex", 20, 5):
+            degree: dict = {}
+            for triple in generated.source_triples:
+                degree[triple.subject] = degree.get(triple.subject, 0) + 1
+                if not isinstance(triple.object, Literal):
+                    degree[triple.object] = degree.get(triple.object, 0) + 1
+            interior = sum(1 for count in degree.values() if count > 1)
+            assert len(generated.query.variables()) <= 4 + interior
+
+    def test_constant_injection(self, lubm_store):
+        config = WorkloadConfig(constant_iri_probability=1.0)
+        generator = WorkloadGenerator(lubm_store, seed=9, config=config)
+        generated = generator.star_query(6)
+        constants = generated.query.constant_terms()
+        assert any(isinstance(term, IRI) for term in constants)
+        # The seed entity itself stays a variable.
+        assert len(generated.query.variables()) >= 1
+
+    def test_zero_constant_probability_keeps_variables(self, lubm_store):
+        config = WorkloadConfig(constant_iri_probability=0.0, max_variables=None)
+        generator = WorkloadGenerator(lubm_store, seed=9, config=config)
+        generated = generator.complex_query(6)
+        assert len(generated.query.variables()) >= 3
+
+    def test_projection_covers_all_variables(self, generator):
+        generated = generator.star_query(8)
+        assert set(generated.query.projection) == set(generated.query.variables())
+
+    def test_unknown_shape_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.workload("zigzag", 5, 1)
+
+    def test_repeated_star_predicates_become_constants(self):
+        """A star around a hub with one dominant predicate must stay selective."""
+        store = YagoGenerator(persons=200, cities=10, seed=3).store()
+        generator = WorkloadGenerator(store, seed=3)
+        generated = generator.star_query(20)
+        seen: dict[tuple, int] = {}
+        for pattern, triple in zip(generated.query.patterns, generated.source_triples):
+            subject_var = isinstance(pattern.subject, Variable)
+            object_var = isinstance(pattern.object, Variable)
+            if subject_var and object_var:
+                direction = "out" if triple.subject == generated.seed_entity else "in"
+                key = (pattern.predicate, direction)
+                seen[key] = seen.get(key, 0) + 1
+        # Repeats of one (predicate, direction) pair with fresh variables are
+        # suppressed (a second one can survive only when the repeated satellite
+        # is an interior resource that must stay a variable for connectivity).
+        assert all(count <= 2 for count in seen.values())
+        assert sum(seen.values()) <= len(seen) + 2
