@@ -1,0 +1,58 @@
+"""Service-throughput benchmark: concurrent clients against one engine.
+
+The figure benchmarks measure single-query latency; this one measures the
+serving dimension the online stage is built for — N client threads replay
+a repeated star/complex workload against one shared
+:class:`~repro.server.EngineService`, reporting throughput, latency
+percentiles and the plan-cache hit rate at each concurrency level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AmberEngine
+from repro.bench import build_dataset, format_service_bench, run_service_benchmark
+from repro.datasets.workload import WorkloadGenerator
+from repro.server import EngineService, ServiceConfig
+
+CLIENT_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def service_and_queries(bench_scale):
+    store = build_dataset("YAGO", bench_scale)
+    engine = AmberEngine.from_store(store)
+    generator = WorkloadGenerator(store, seed=bench_scale.seed)
+    queries = [
+        str(item.query)
+        for shape, size in (("star", 10), ("star", 20), ("complex", 10), ("complex", 20))
+        for item in generator.workload(shape, size, 2)
+    ]
+    service = EngineService(
+        engine,
+        ServiceConfig(
+            default_timeout_seconds=bench_scale.timeout_seconds,
+            max_rows=10_000,
+            plan_cache_size=256,
+            max_in_flight=max(CLIENT_COUNTS),
+        ),
+    )
+    return service, queries
+
+
+def test_service_throughput_scaling(service_and_queries, record_result):
+    """Replay the workload at increasing client counts; plan cache must win."""
+    service, queries = service_and_queries
+    results = []
+    for clients in CLIENT_COUNTS:
+        results.append(run_service_benchmark(service, queries, clients=clients, repeats=3))
+    table = format_service_bench(results, "Service throughput (YAGO star+complex mix)")
+    record_result("service_throughput.txt", table)
+
+    total_requests = sum(r.requests for r in results)
+    total_handled = sum(r.answered + r.timeouts for r in results)
+    assert total_handled == total_requests, "admission control rejected despite matched limits"
+    # After the first replay every query text repeats: the hit rate over the
+    # whole run must approach 1 (allow slack for the cold first pass).
+    assert service.plan_cache.stats().hit_rate > 0.9

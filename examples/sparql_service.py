@@ -1,0 +1,73 @@
+"""Serve the paper's Figure 1 dataset over HTTP and query it like a client.
+
+Run with::
+
+    PYTHONPATH=src python examples/sparql_service.py
+
+This is the in-process equivalent of::
+
+    python -m repro.server data.ttl --port 8080
+
+followed by curl requests against /sparql and /stats.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+import urllib.request
+
+from repro import AmberEngine
+from repro.server import EngineService, ServiceConfig, serve
+
+TURTLE = """
+@prefix x: <http://dbpedia.org/resource/> .
+@prefix y: <http://dbpedia.org/ontology/> .
+
+x:London y:isPartOf x:England .
+x:England y:hasCapital x:London .
+x:Christopher_Nolan y:wasBornIn x:London .
+x:Amy_Winehouse y:wasBornIn x:London .
+x:Amy_Winehouse y:wasPartOf x:Music_Band .
+x:Music_Band y:foundedIn "1994" .
+"""
+
+QUERY = """
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?who WHERE { ?who y:wasBornIn ?where . }
+"""
+
+
+def main() -> None:
+    engine = AmberEngine.from_turtle(TURTLE)
+    service = EngineService(engine, ServiceConfig(result_cache_size=64))
+    server = serve(service, host="127.0.0.1", port=0, quiet=True)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    print(f"serving on {server.url}")
+
+    # --- JSON results (the default W3C format) -------------------------- #
+    url = server.url + "/sparql?" + urllib.parse.urlencode({"query": QUERY})
+    with urllib.request.urlopen(url) as response:
+        document = json.load(response)
+    print("\napplication/sparql-results+json:")
+    print(json.dumps(document, indent=2))
+
+    # --- CSV results, and a repeat that hits the caches ----------------- #
+    with urllib.request.urlopen(url + "&format=csv") as response:
+        print("text/csv:")
+        print(response.read().decode())
+
+    # --- operational statistics ----------------------------------------- #
+    with urllib.request.urlopen(server.url + "/stats") as response:
+        stats = json.load(response)
+    print("plan cache:", stats["plan_cache"])
+    print("result cache:", stats["result_cache"])
+    print("latency:", stats["latency"])
+
+    server.shutdown()
+    server.server_close()
+
+
+if __name__ == "__main__":
+    main()

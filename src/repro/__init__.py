@@ -14,6 +14,11 @@ Typical usage::
     results = engine.query(query)
     for row in results:
         print(row)
+
+To serve an engine over HTTP (SPARQL Protocol-style endpoint with plan/
+result caching), see :mod:`repro.server` and the top-level README.md::
+
+    python -m repro.server data.nt --port 8080
 """
 
 from .amber.engine import AmberEngine, BuildReport

@@ -15,8 +15,8 @@ core/satellite homomorphic matching of Section 5.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Iterable
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Protocol
 
 from ..index.manager import IndexSet
 from ..multigraph.builder import DataMultigraph, build_data_multigraph
@@ -32,7 +32,25 @@ from ..timing import Deadline
 from .embeddings import combine_component_bindings, component_bindings
 from .matching import MatcherConfig, MultigraphMatcher, QueryTimeout
 
-__all__ = ["AmberEngine", "BuildReport", "QueryTimeout"]
+__all__ = ["AmberEngine", "BuildReport", "PlanCache", "QueryPlan", "QueryTimeout"]
+
+#: A prepared plan: the parsed query plus its query multigraph.  Both parts
+#: are immutable after construction, so a plan can be shared across threads.
+QueryPlan = tuple[SelectQuery, QueryMultigraph]
+
+
+class PlanCache(Protocol):
+    """Anything that can memoise prepared plans keyed by query text.
+
+    The engine treats the cache as a black box; :class:`repro.server.LRUCache`
+    is the batteries-included implementation used by the query service.
+    """
+
+    def get(self, key: str) -> QueryPlan | None:  # pragma: no cover - protocol
+        ...
+
+    def put(self, key: str, value: QueryPlan) -> None:  # pragma: no cover - protocol
+        ...
 
 
 @dataclass
@@ -73,11 +91,28 @@ class AmberEngine:
         indexes: IndexSet,
         build_report: BuildReport | None = None,
         config: MatcherConfig | None = None,
+        plan_cache: PlanCache | None = None,
     ):
         self.data = data
         self.indexes = indexes
         self.build_report = build_report
         self.config = config or MatcherConfig()
+        #: Optional plan cache consulted by :meth:`prepare` for string queries.
+        self.plan_cache = plan_cache
+
+    @property
+    def config(self) -> MatcherConfig:
+        """The engine-level matcher configuration."""
+        return self._config
+
+    @config.setter
+    def config(self, value: MatcherConfig | None) -> None:
+        # The matcher is stateless across queries (per-query state lives in a
+        # _MatchRun), so one shared instance serves every query that does not
+        # override timeout/row-limit — including concurrent ones.  Rebuilding
+        # it here keeps post-construction config assignment working.
+        self._config = value or MatcherConfig()
+        self._default_matcher = MultigraphMatcher(self.data, self.indexes, self._config)
 
     # ------------------------------------------------------------------ #
     # offline stage
@@ -134,10 +169,27 @@ class AmberEngine:
     # ------------------------------------------------------------------ #
     # online stage
     # ------------------------------------------------------------------ #
-    def prepare(self, query: str | SelectQuery) -> tuple[SelectQuery, QueryMultigraph]:
-        """Parse (if needed) and transform a query into its query multigraph."""
-        parsed = parse_sparql(query) if isinstance(query, str) else query
-        return parsed, build_query_multigraph(parsed, self.data)
+    def prepare(
+        self, query: str | SelectQuery, use_cache: bool = True
+    ) -> tuple[SelectQuery, QueryMultigraph]:
+        """Parse (if needed) and transform a query into its query multigraph.
+
+        When a :attr:`plan_cache` is installed and ``query`` is a string, the
+        prepared plan is memoised keyed by the exact query text.  Plans are
+        read-only during matching, so cached plans may be shared by threads.
+        """
+        if isinstance(query, str):
+            cache = self.plan_cache if use_cache else None
+            if cache is not None:
+                plan = cache.get(query)
+                if plan is not None:
+                    return plan
+            parsed = parse_sparql(query)
+            plan = (parsed, build_query_multigraph(parsed, self.data))
+            if cache is not None:
+                cache.put(query, plan)
+            return plan
+        return query, build_query_multigraph(query, self.data)
 
     def query(
         self,
@@ -151,47 +203,88 @@ class AmberEngine:
         :class:`QueryTimeout` is raised when it is exceeded.
         """
         parsed, qgraph = self.prepare(query)
-        rows = self._solve(parsed, qgraph, timeout_seconds, max_solutions)
+        rows = self._iter_solutions(parsed, qgraph, timeout_seconds, max_solutions)
         return ResultSet.for_query(parsed, rows)
 
     def count(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> int:
-        """Return the number of solution rows of ``query``."""
-        return len(self.query(query, timeout_seconds=timeout_seconds))
+        """Return the number of solution rows of ``query``.
+
+        Solutions are streamed and counted without materialising the full
+        :class:`ResultSet`; DISTINCT, LIMIT and OFFSET semantics match
+        ``query()`` — including the engine-level ``max_solutions`` cap, which
+        bounds the solution stream before the modifiers apply.
+        """
+        parsed, qgraph = self.prepare(query)
+        limit, offset = parsed.limit, parsed.offset or 0
+        # Rows of the (capped) stream needed to answer exactly; None = all.
+        needed = None if limit is None else offset + limit
+        cap = self.config.max_solutions
+        if parsed.distinct:
+            # Deduplication needs the projected rows, but only their set —
+            # the row list itself is never built.
+            variables = parsed.answer_variables()
+            seen: set[Binding] = set()
+            for row in self._iter_solutions(parsed, qgraph, timeout_seconds, None):
+                seen.add(row.project(variables))
+                if needed is not None and len(seen) >= needed:
+                    break
+            total = len(seen)
+        else:
+            # Stop the stream early only when that cannot loosen the engine
+            # cap (query() applies the cap first, then slices LIMIT/OFFSET).
+            stream_cap = needed if needed is not None and (cap is None or needed < cap) else None
+            total = 0
+            for _ in self._iter_solutions(parsed, qgraph, timeout_seconds, stream_cap):
+                total += 1
+                if needed is not None and total >= needed:
+                    break
+        after_offset = max(0, total - offset)
+        return after_offset if limit is None else min(after_offset, limit)
 
     def ask(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> bool:
         """Return True when the query has at least one solution."""
         parsed, qgraph = self.prepare(query)
-        rows = self._solve(parsed, qgraph, timeout_seconds, max_solutions=1)
-        for _ in rows:
+        for _ in self._iter_solutions(parsed, qgraph, timeout_seconds, 1):
             return True
         return False
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _solve(
+    def _matcher_for(
+        self, timeout_seconds: float | None, max_solutions: int | None
+    ) -> MultigraphMatcher:
+        """Return the shared matcher, or a one-off for per-query overrides."""
+        if timeout_seconds is None and max_solutions is None:
+            return self._default_matcher
+        config = replace(
+            self.config,
+            timeout_seconds=(
+                timeout_seconds if timeout_seconds is not None else self.config.timeout_seconds
+            ),
+            max_solutions=(
+                max_solutions if max_solutions is not None else self.config.max_solutions
+            ),
+        )
+        return MultigraphMatcher(self.data, self.indexes, config)
+
+    def _iter_solutions(
         self,
         parsed: SelectQuery,
         qgraph: QueryMultigraph,
         timeout_seconds: float | None,
         max_solutions: int | None,
-    ) -> list[Binding]:
+    ) -> Iterator[Binding]:
+        """Stream solution bindings under the shared deadline and row cap."""
         if qgraph.unsatisfiable or any(v.unsatisfiable for v in qgraph.vertices.values()):
-            return []
+            return
         effective_timeout = (
             timeout_seconds if timeout_seconds is not None else self.config.timeout_seconds
         )
         effective_limit = (
             max_solutions if max_solutions is not None else self.config.max_solutions
         )
-        config = MatcherConfig(
-            use_signature_index=self.config.use_signature_index,
-            use_satellite_decomposition=self.config.use_satellite_decomposition,
-            ordering=self.config.ordering,
-            max_solutions=effective_limit,
-            timeout_seconds=effective_timeout,
-        )
-        matcher = MultigraphMatcher(self.data, self.indexes, config)
+        matcher = self._matcher_for(timeout_seconds, max_solutions)
         # One deadline shared by the matching recursion of every component and
         # by the embedding expansion below, so unselective queries whose
         # Cartesian product explodes still honour the time budget.
@@ -200,7 +293,20 @@ class AmberEngine:
         components = qgraph.connected_components()
         if not components:
             # A fully ground query: satisfiable (checked above) means one empty row.
-            return [Binding({})]
+            yield Binding({})
+            return
+        if len(components) == 1:
+            solutions = matcher.match_component(qgraph, components[0], deadline)
+            emitted = 0
+            for row in component_bindings(solutions, qgraph, self.data):
+                deadline.check()
+                yield row
+                emitted += 1
+                if effective_limit is not None and emitted >= effective_limit:
+                    return
+            return
+        # Disconnected patterns need every component answer before the cross
+        # product, so the per-component bindings are still materialised.
         per_component: list[list[Binding]] = []
         for component in components:
             solutions = matcher.match_component(qgraph, component, deadline)
@@ -208,13 +314,15 @@ class AmberEngine:
                 component_bindings(solutions, qgraph, self.data), deadline, effective_limit
             )
             if not bindings:
-                return []
+                return
             per_component.append(bindings)
-        if len(per_component) == 1:
-            return per_component[0]
-        return self._collect(
-            combine_component_bindings(per_component), deadline, effective_limit
-        )
+        emitted = 0
+        for row in combine_component_bindings(per_component):
+            deadline.check()
+            yield row
+            emitted += 1
+            if effective_limit is not None and emitted >= effective_limit:
+                return
 
     @staticmethod
     def _collect(rows, deadline: Deadline, limit: int | None) -> list[Binding]:

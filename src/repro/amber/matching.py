@@ -57,6 +57,27 @@ class MatcherConfig:
 
 
 @dataclass
+class _MatchRun:
+    """Mutable per-query state threaded through one ``match_component`` call.
+
+    Keeping the deadline and the emitted-solutions counter here (instead of
+    on the matcher instance) makes a single :class:`MultigraphMatcher`
+    reusable across queries and safe to share between threads: the matcher
+    itself only holds immutable references (data, indexes, config).
+    """
+
+    deadline: Deadline
+    limit: int | None
+    emitted: int = 0
+
+    def check(self) -> None:
+        self.deadline.check()
+
+    def limit_reached(self) -> bool:
+        return self.limit is not None and self.emitted >= self.limit
+
+
+@dataclass
 class ComponentSolution:
     """One solution of a connected component.
 
@@ -110,8 +131,6 @@ class MultigraphMatcher:
         self.data = data
         self.indexes = indexes
         self.config = config or MatcherConfig()
-        self._deadline = Deadline(None)
-        self._solutions_emitted = 0
 
     # ------------------------------------------------------------------ #
     # public entry point (Algorithm 3)
@@ -124,9 +143,14 @@ class MultigraphMatcher:
         ``deadline`` lets the caller share one time budget across components
         and the final embedding expansion; when omitted a fresh deadline is
         derived from ``config.timeout_seconds``.
+
+        The matcher instance holds no per-query state, so one instance can
+        serve many queries — including concurrently from multiple threads.
         """
-        self._deadline = deadline if deadline is not None else Deadline(self.config.timeout_seconds)
-        self._solutions_emitted = 0
+        run = _MatchRun(
+            deadline=deadline if deadline is not None else Deadline(self.config.timeout_seconds),
+            limit=self.config.max_solutions,
+        )
 
         if self.config.use_satellite_decomposition:
             decomposition = decompose_query(qgraph, component)
@@ -150,15 +174,15 @@ class MultigraphMatcher:
 
         satellites_of_initial = decomposition.satellites_of.get(initial, [])
         for candidate in sorted(candidates):
-            self._check_deadline()
+            run.check()
             solution = ComponentSolution(core={initial: candidate})
             if satellites_of_initial:
                 satellite_matches = self._match_satellites(qgraph, satellites_of_initial, initial, candidate)
                 if satellite_matches is None:
                     continue
                 solution.satellites.update(satellite_matches)
-            yield from self._recurse(qgraph, decomposition, ordered_core, 1, solution)
-            if self._limit_reached():
+            yield from self._recurse(qgraph, decomposition, ordered_core, 1, solution, run)
+            if run.limit_reached():
                 return
 
     # ------------------------------------------------------------------ #
@@ -171,10 +195,11 @@ class MultigraphMatcher:
         ordered_core: list[int],
         depth: int,
         solution: ComponentSolution,
+        run: _MatchRun,
     ) -> Iterator[ComponentSolution]:
-        self._check_deadline()
+        run.check()
         if depth == len(ordered_core):
-            self._solutions_emitted += solution.embedding_count()
+            run.emitted += solution.embedding_count()
             yield solution
             return
 
@@ -192,7 +217,7 @@ class MultigraphMatcher:
 
         satellites = decomposition.satellites_of.get(next_vertex, [])
         for candidate in sorted(candidates):
-            self._check_deadline()
+            run.check()
             new_solution = ComponentSolution(
                 core=dict(solution.core), satellites=dict(solution.satellites)
             )
@@ -202,8 +227,8 @@ class MultigraphMatcher:
                 if satellite_matches is None:
                     continue
                 new_solution.satellites.update(satellite_matches)
-            yield from self._recurse(qgraph, decomposition, ordered_core, depth + 1, new_solution)
-            if self._limit_reached():
+            yield from self._recurse(qgraph, decomposition, ordered_core, depth + 1, new_solution, run)
+            if run.limit_reached():
                 return
 
     # ------------------------------------------------------------------ #
@@ -311,15 +336,3 @@ class MultigraphMatcher:
             found = self.indexes.neighborhoods.neighbors(anchor_data_vertex, OUTGOING, types_out)
             candidates = found if candidates is None else candidates & found
         return candidates if candidates is not None else set()
-
-    # ------------------------------------------------------------------ #
-    # limits
-    # ------------------------------------------------------------------ #
-    def _check_deadline(self) -> None:
-        self._deadline.check()
-
-    def _limit_reached(self) -> bool:
-        return (
-            self.config.max_solutions is not None
-            and self._solutions_emitted >= self.config.max_solutions
-        )

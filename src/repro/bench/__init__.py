@@ -14,6 +14,7 @@ from .experiments import (
 )
 from .reporting import format_figure_series, format_table, format_workload_summary
 from .runner import QueryOutcome, WorkloadResult, run_query, run_workload
+from .service_bench import ServiceBenchResult, format_service_bench, run_service_benchmark
 
 __all__ = [
     "DATASET_BUILDERS",
@@ -33,4 +34,7 @@ __all__ = [
     "format_table",
     "format_figure_series",
     "format_workload_summary",
+    "ServiceBenchResult",
+    "format_service_bench",
+    "run_service_benchmark",
 ]

@@ -1,0 +1,28 @@
+"""The SPARQL query service: caching service layer + HTTP front end.
+
+This package turns a built :class:`~repro.AmberEngine` into a long-running
+process in the paper's "build once, query many" spirit:
+
+* :class:`EngineService` — plan/result caching, admission control, stats;
+* :class:`SparqlHTTPServer` / :func:`serve` — the SPARQL Protocol-style
+  HTTP front end (``/sparql``, ``/stats``, ``/health``);
+* ``python -m repro.server data.nt`` — the command-line launcher.
+"""
+
+from .cache import CacheStats, LRUCache
+from .http import SparqlHTTPServer, SparqlRequestHandler, serve
+from .service import EngineService, QueryResponse, ServiceConfig, ServiceOverloaded
+from .stats import LatencyRecorder
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "EngineService",
+    "QueryResponse",
+    "ServiceConfig",
+    "ServiceOverloaded",
+    "LatencyRecorder",
+    "SparqlHTTPServer",
+    "SparqlRequestHandler",
+    "serve",
+]

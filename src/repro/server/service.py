@@ -1,0 +1,247 @@
+"""The engine service: caching, admission control and statistics.
+
+:class:`EngineService` is the layer between a shared :class:`AmberEngine`
+and any front end (the HTTP server, the service benchmark, tests).  It
+adds what the bare engine deliberately does not have:
+
+* an LRU **plan cache** — the prepared ``(SelectQuery, QueryMultigraph)``
+  pair is memoised by query text, so repeated workloads (the paper's
+  star/complex query mixes) skip parsing and query-graph construction;
+* an optional bounded **result cache** for fully identical requests;
+* **admission control** — at most ``max_in_flight`` queries evaluate
+  concurrently, the rest are rejected with :class:`ServiceOverloaded`
+  rather than piling onto the worker pool;
+* per-request **timeout and row-limit enforcement** with service-wide caps;
+* counters and latency percentiles surfaced by the ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..amber.engine import AmberEngine
+from ..errors import QueryTimeout, ReproError, UnsupportedQueryError
+from ..sparql.bindings import ResultSet
+from ..sparql.tokenizer import SparqlSyntaxError
+from .cache import LRUCache
+from .stats import LatencyRecorder
+
+__all__ = ["ServiceConfig", "ServiceOverloaded", "QueryResponse", "EngineService"]
+
+
+class ServiceOverloaded(ReproError):
+    """Raised when admission control rejects a query (too many in flight)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operational limits of one :class:`EngineService`."""
+
+    #: Per-query evaluation budget applied when the client does not ask for
+    #: one; also the upper bound on client-requested timeouts.
+    default_timeout_seconds: float | None = 30.0
+    #: Hard cap on solution rows per query (None = unlimited).
+    max_rows: int | None = 10_000
+    #: Entries in the plan cache (query text -> prepared plan); 0 disables.
+    plan_cache_size: int = 256
+    #: Entries in the result cache; 0 (the default posture for freshness-
+    #: sensitive deployments) disables result caching entirely.
+    result_cache_size: int = 0
+    #: Maximum concurrently evaluating queries before admission control
+    #: rejects with ServiceOverloaded.
+    max_in_flight: int = 8
+    #: Observations kept for the latency percentiles.
+    latency_window: int = 2048
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One answered query: the result set plus provenance/timing."""
+
+    result: ResultSet
+    seconds: float
+    from_result_cache: bool = False
+
+
+@dataclass
+class _Counters:
+    """Mutable service counters (guarded by the service lock)."""
+
+    received: int = 0
+    answered: int = 0
+    parse_errors: int = 0
+    invalid_parameters: int = 0
+    timeouts: int = 0
+    rejected: int = 0
+    failures: int = 0
+    in_flight: int = 0
+    peak_in_flight: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "received": self.received,
+            "answered": self.answered,
+            "parse_errors": self.parse_errors,
+            "invalid_parameters": self.invalid_parameters,
+            "timeouts": self.timeouts,
+            "rejected": self.rejected,
+            "failures": self.failures,
+            "in_flight": self.in_flight,
+            "peak_in_flight": self.peak_in_flight,
+        }
+
+
+class EngineService:
+    """A thread-safe query service over one shared :class:`AmberEngine`."""
+
+    def __init__(self, engine: AmberEngine, config: ServiceConfig | None = None):
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        #: The plan cache in effect (ours, or one the caller pre-installed).
+        self.plan_cache = LRUCache(self.config.plan_cache_size)
+        # The engine consults the plan cache inside prepare(), so every
+        # caller of the shared engine benefits, not only this service.  A
+        # cache the caller already installed is adopted, never clobbered —
+        # stats() then reports that cache (or marks it external when it
+        # cannot report statistics).
+        if engine.plan_cache is None:
+            if self.config.plan_cache_size > 0:
+                engine.plan_cache = self.plan_cache
+        else:
+            self.plan_cache = engine.plan_cache
+        self.result_cache: LRUCache[tuple, ResultSet] = LRUCache(self.config.result_cache_size)
+        self.latency = LatencyRecorder(self.config.latency_window)
+        self._counters = _Counters()
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------ #
+    # query path
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        query: str,
+        timeout_seconds: float | None = None,
+        max_rows: int | None = None,
+    ) -> QueryResponse:
+        """Answer one SPARQL SELECT query under the service's limits.
+
+        Raises :class:`ServiceOverloaded` when admission control rejects the
+        request, :class:`QueryTimeout` on budget exhaustion and
+        :class:`SparqlSyntaxError` / :class:`UnsupportedQueryError` on bad
+        queries — the HTTP layer maps these to 503/503/400.
+        """
+        with self._lock:
+            self._counters.received += 1
+        try:
+            effective_timeout = self._effective_timeout(timeout_seconds)
+            effective_rows = self._effective_rows(max_rows)
+        except ValueError:
+            with self._lock:
+                self._counters.invalid_parameters += 1
+            raise
+
+        cache_key = (query, effective_rows)
+        if self.config.result_cache_size > 0:
+            cached = self.result_cache.get(cache_key)
+            if cached is not None:
+                with self._lock:
+                    self._counters.answered += 1
+                self.latency.record(0.0)
+                return QueryResponse(result=cached, seconds=0.0, from_result_cache=True)
+
+        self._admit()
+        start = time.perf_counter()
+        try:
+            result = self.engine.query(
+                query, timeout_seconds=effective_timeout, max_solutions=effective_rows
+            )
+        except QueryTimeout:
+            with self._lock:
+                self._counters.timeouts += 1
+            raise
+        except (SparqlSyntaxError, UnsupportedQueryError):
+            with self._lock:
+                self._counters.parse_errors += 1
+            raise
+        except Exception:
+            with self._lock:
+                self._counters.failures += 1
+            raise
+        finally:
+            self._release()
+        seconds = time.perf_counter() - start
+        self.latency.record(seconds)
+        with self._lock:
+            self._counters.answered += 1
+        if self.config.result_cache_size > 0:
+            self.result_cache.put(cache_key, result)
+        return QueryResponse(result=result, seconds=seconds)
+
+    # ------------------------------------------------------------------ #
+    # limits & admission
+    # ------------------------------------------------------------------ #
+    def _effective_timeout(self, requested: float | None) -> float | None:
+        ceiling = self.config.default_timeout_seconds
+        if requested is None:
+            return ceiling
+        # NaN would poison min() and the deadline comparison (never expires),
+        # silently handing out an unbounded budget — reject it with the rest.
+        if not math.isfinite(requested) or requested <= 0:
+            raise ValueError("timeout must be a positive finite number")
+        return min(requested, ceiling) if ceiling is not None else requested
+
+    def _effective_rows(self, requested: int | None) -> int | None:
+        ceiling = self.config.max_rows
+        if requested is None:
+            return ceiling
+        if requested <= 0:
+            raise ValueError("max rows must be positive")
+        return min(requested, ceiling) if ceiling is not None else requested
+
+    def _admit(self) -> None:
+        with self._lock:
+            if self._counters.in_flight >= self.config.max_in_flight:
+                self._counters.rejected += 1
+                raise ServiceOverloaded(
+                    f"{self._counters.in_flight} queries in flight "
+                    f"(limit {self.config.max_in_flight}); retry later"
+                )
+            self._counters.in_flight += 1
+            self._counters.peak_in_flight = max(
+                self._counters.peak_in_flight, self._counters.in_flight
+            )
+
+    def _release(self) -> None:
+        with self._lock:
+            self._counters.in_flight -= 1
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """A JSON-serializable snapshot for the ``/stats`` endpoint."""
+        with self._lock:
+            counters = self._counters.as_dict()
+        report = self.engine.build_report
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "engine": self.engine.statistics(),
+            "build_report": report.as_dict() if report is not None else None,
+            "queries": counters,
+            "latency": self.latency.snapshot(),
+            "plan_cache": (
+                self.plan_cache.stats().as_dict()
+                if hasattr(self.plan_cache, "stats")
+                else {"external": True}
+            ),
+            "result_cache": self.result_cache.stats().as_dict(),
+            "limits": {
+                "default_timeout_seconds": self.config.default_timeout_seconds,
+                "max_rows": self.config.max_rows,
+                "max_in_flight": self.config.max_in_flight,
+            },
+        }

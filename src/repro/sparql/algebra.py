@@ -76,14 +76,15 @@ class SelectQuery:
     """A SPARQL ``SELECT ... WHERE { ... }`` query.
 
     ``projection`` lists the variables to return; an empty projection means
-    ``SELECT *`` (all variables of the pattern).  ``distinct`` and ``limit``
-    mirror the corresponding solution modifiers.
+    ``SELECT *`` (all variables of the pattern).  ``distinct``, ``limit``
+    and ``offset`` mirror the corresponding solution modifiers.
     """
 
     patterns: list[TriplePattern]
     projection: list[Variable] = field(default_factory=list)
     distinct: bool = False
     limit: int | None = None
+    offset: int | None = None
 
     def variables(self) -> list[Variable]:
         """Return pattern variables in first-appearance order."""
@@ -117,4 +118,6 @@ class SelectQuery:
         head += " ".join(str(v) for v in self.projection) if self.projection else "*"
         body = "\n  ".join(str(p) for p in self.patterns)
         tail = f"\nLIMIT {self.limit}" if self.limit is not None else ""
+        if self.offset is not None:
+            tail += f"\nOFFSET {self.offset}"
         return f"{head} WHERE {{\n  {body}\n}}{tail}"

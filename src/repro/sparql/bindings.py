@@ -7,12 +7,35 @@ tests and benchmarks regardless of the execution strategy.
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from typing import Iterable, Iterator, Mapping
 
-from ..rdf.terms import Term
+from ..rdf.terms import BlankNode, IRI, Literal, Term
 from .algebra import SelectQuery, Variable
 
-__all__ = ["Binding", "ResultSet"]
+__all__ = ["Binding", "ResultSet", "term_to_sparql_json"]
+
+
+def term_to_sparql_json(term: Term) -> dict[str, str]:
+    """Serialize one RDF term as a W3C SPARQL-results JSON binding object.
+
+    Follows https://www.w3.org/TR/sparql11-results-json/ section 3.2.2:
+    ``{"type": "uri"|"literal"|"bnode", "value": ..., ["xml:lang"|"datatype"]}``.
+    """
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BlankNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        out = {"type": "literal", "value": term.value}
+        if term.language:
+            out["xml:lang"] = term.language
+        elif term.datatype:
+            out["datatype"] = term.datatype
+        return out
+    raise TypeError(f"cannot serialize term of type {type(term).__name__}")
 
 
 class Binding(Mapping[Variable, Term]):
@@ -89,6 +112,8 @@ class ResultSet:
             rows_list = unique
         else:
             rows_list = list(projected)
+        if query.offset:
+            rows_list = rows_list[query.offset :]
         if query.limit is not None:
             rows_list = rows_list[: query.limit]
         return cls(variables, rows_list)
@@ -109,6 +134,52 @@ class ResultSet:
     def same_solutions(self, other: "ResultSet") -> bool:
         """Return True when both result sets contain the same solution rows."""
         return self.as_set() == other.as_set()
+
+    # ------------------------------------------------------------------ #
+    # W3C result formats (used by the SPARQL protocol service)
+    # ------------------------------------------------------------------ #
+    def to_sparql_json_dict(self) -> dict:
+        """Return the W3C ``application/sparql-results+json`` document as a dict."""
+        return {
+            "head": {"vars": [v.name for v in self.variables]},
+            "results": {
+                "bindings": [
+                    {
+                        v.name: term_to_sparql_json(row[v])
+                        for v in self.variables
+                        if v in row
+                    }
+                    for row in self.rows
+                ]
+            },
+        }
+
+    def to_sparql_json(self, indent: int | None = None) -> str:
+        """Serialize as W3C ``application/sparql-results+json`` text."""
+        return json.dumps(self.to_sparql_json_dict(), ensure_ascii=False, indent=indent)
+
+    def to_csv(self) -> str:
+        """Serialize as W3C SPARQL 1.1 CSV results (``text/csv``).
+
+        Per https://www.w3.org/TR/sparql11-results-csv-tsv/ the header lists
+        the bare variable names, values are the plain lexical forms (IRIs
+        without angle brackets, literals without quotes/datatypes) and unbound
+        variables serialize as empty fields.  Lines end with CRLF.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\r\n")
+        writer.writerow([v.name for v in self.variables])
+        for row in self.rows:
+            writer.writerow([self._csv_value(row.get(v)) for v in self.variables])
+        return buffer.getvalue()
+
+    @staticmethod
+    def _csv_value(term: Term | None) -> str:
+        if term is None:
+            return ""
+        if isinstance(term, BlankNode):
+            return f"_:{term.label}"
+        return term.value if isinstance(term, (IRI, Literal)) else str(term)
 
     def to_table(self, max_rows: int | None = 20) -> str:
         """Render a small ASCII table, useful in examples and debugging."""

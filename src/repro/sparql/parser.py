@@ -1,9 +1,10 @@
 """Recursive-descent parser for SPARQL ``SELECT ... WHERE { BGP }`` queries.
 
 Coverage follows the paper's scope (Section 1): SELECT/WHERE with basic
-graph patterns, PREFIX declarations, ``DISTINCT``, ``LIMIT``, predicate
-lists (``;``), object lists (``,``) and the ``a`` shorthand.  FILTER,
-UNION, OPTIONAL and GROUP BY are detected and rejected with a clear error.
+graph patterns, PREFIX declarations, ``DISTINCT``, ``LIMIT``/``OFFSET``,
+predicate lists (``;``), object lists (``,``) and the ``a`` shorthand.
+FILTER, UNION, OPTIONAL and GROUP BY are detected and rejected with a
+clear error naming the offending token position.
 """
 
 from __future__ import annotations
@@ -91,8 +92,10 @@ class SparqlParser:
             token = self._next()
         self._expect("punct", "{")
         patterns = self._parse_group_graph_pattern()
-        limit = self._parse_solution_modifiers()
-        return SelectQuery(patterns=patterns, projection=projection, distinct=distinct, limit=limit)
+        limit, offset = self._parse_solution_modifiers()
+        return SelectQuery(
+            patterns=patterns, projection=projection, distinct=distinct, limit=limit, offset=offset
+        )
 
     def _parse_group_graph_pattern(self) -> list[TriplePattern]:
         patterns: list[TriplePattern] = []
@@ -105,7 +108,10 @@ class SparqlParser:
                 return patterns
             if token.kind == "keyword" and token.text in ("FILTER", "UNION", "OPTIONAL"):
                 raise SparqlSyntaxError(
-                    f"{token.text} is outside the supported SELECT/WHERE fragment (see paper Section 1)"
+                    f"{token.text} at offset {token.position} is outside the supported "
+                    f"SELECT/WHERE fragment (paper Section 1). Supported syntax: PREFIX "
+                    f"declarations, SELECT [DISTINCT] with basic graph patterns, predicate "
+                    f"lists (';'), object lists (','), the 'a' shorthand, LIMIT and OFFSET."
                 )
             patterns.extend(self._parse_triples_block())
 
@@ -137,21 +143,23 @@ class SparqlParser:
             self._next()
         return patterns
 
-    def _parse_solution_modifiers(self) -> int | None:
+    def _parse_solution_modifiers(self) -> tuple[int | None, int | None]:
         limit: int | None = None
+        offset: int | None = None
         while True:
             token = self._peek()
             if token is None or token.kind != "keyword":
-                return limit
+                return limit, offset
             if token.text == "LIMIT":
                 self._next()
                 number = self._expect("number")
                 limit = int(number.text)
             elif token.text == "OFFSET":
                 self._next()
-                self._expect("number")
+                number = self._expect("number")
+                offset = int(number.text)
             else:
-                return limit
+                return limit, offset
 
     def _parse_term(self, position: str):
         token = self._next()

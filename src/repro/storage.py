@@ -30,7 +30,15 @@ from .index.manager import IndexSet
 from .multigraph.builder import DataMultigraph
 from .rdf.terms import IRI, BlankNode, Literal
 
-__all__ = ["FORMAT_VERSION", "StorageError", "save_data_multigraph", "load_data_multigraph", "save_engine", "load_engine"]
+__all__ = [
+    "FORMAT_VERSION",
+    "StorageError",
+    "save_data_multigraph",
+    "load_data_multigraph",
+    "save_engine",
+    "load_engine",
+    "load_engine_auto",
+]
 
 #: Version stamp written into every file; bumped on incompatible changes.
 FORMAT_VERSION = 1
@@ -163,3 +171,27 @@ def load_engine(path: str | Path, config: MatcherConfig | None = None) -> AmberE
         index_items=indexes.report.total_items if indexes.report else 0,
     )
     return AmberEngine(data, indexes, report, config)
+
+
+def load_engine_auto(path: str | Path, config: MatcherConfig | None = None) -> AmberEngine:
+    """Build or load an engine from ``path``, dispatching on the file suffix.
+
+    Recognised inputs (the formats accepted by ``python -m repro.server``):
+
+    * ``*.json`` (including ``*.amber.json``) — a persisted multigraph
+      database written by :func:`save_engine`, loaded via :func:`load_engine`;
+    * ``*.nt`` / ``*.ntriples`` — an N-Triples dump;
+    * ``*.ttl`` / ``*.turtle`` — a Turtle document.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        return load_engine(path, config)
+    if suffix in (".nt", ".ntriples"):
+        return AmberEngine.from_ntriples_file(path, config=config)
+    if suffix in (".ttl", ".turtle"):
+        return AmberEngine.from_turtle(path.read_text(encoding="utf-8"), config=config)
+    raise StorageError(
+        f"cannot infer dataset format from suffix {suffix!r} of {path} "
+        f"(expected .amber.json, .nt/.ntriples or .ttl/.turtle)"
+    )

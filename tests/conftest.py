@@ -39,6 +39,12 @@ PREFIX y: <http://dbpedia.org/ontology/>
 
 
 @pytest.fixture(scope="session")
+def paper_turtle() -> str:
+    """The Figure 1 tripleset as Turtle text (for file-based fixtures)."""
+    return PAPER_TURTLE
+
+
+@pytest.fixture(scope="session")
 def paper_store() -> TripleStore:
     """The Figure 1 tripleset loaded into a triple store."""
     return TripleStore.from_turtle(PAPER_TURTLE)

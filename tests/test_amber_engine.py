@@ -201,3 +201,93 @@ class TestEngineOptions:
         engine = AmberEngine.from_ntriples(serialize_ntriples(iter(paper_store)))
         result = engine.query(prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }")
         assert len(result) == 2
+
+
+class TestStreamingCount:
+    """count() streams solutions instead of materialising a ResultSet."""
+
+    def test_count_matches_len_of_query(self, paper_engine, prefixes):
+        queries = [
+            "SELECT * WHERE { ?p y:wasBornIn ?c . }",
+            "SELECT DISTINCT ?c WHERE { ?p y:wasBornIn ?c . }",
+            "SELECT ?p WHERE { ?p y:wasBornIn ?c ; y:livedIn ?l . }",
+            "SELECT ?p WHERE { ?p y:wasBornIn x:Atlantis . }",
+        ]
+        for query in queries:
+            text = prefixes + query
+            assert paper_engine.count(text) == len(paper_engine.query(text))
+
+    def test_count_respects_limit(self, paper_engine, prefixes):
+        text = prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . } LIMIT 1"
+        assert paper_engine.count(text) == 1
+
+    def test_distinct_count_with_limit(self, paper_engine, prefixes):
+        # Two people born in one city: DISTINCT ?c collapses to a single row.
+        text = prefixes + "SELECT DISTINCT ?c WHERE { ?p y:wasBornIn ?c . } LIMIT 5"
+        assert paper_engine.count(text) == 1
+
+    def test_count_does_not_build_result_set(self, paper_engine, prefixes, monkeypatch):
+        from repro.sparql.bindings import ResultSet
+
+        def explode(*args, **kwargs):
+            raise AssertionError("count() must not materialise a ResultSet")
+
+        monkeypatch.setattr(ResultSet, "for_query", classmethod(explode))
+        text = prefixes + "SELECT * WHERE { ?p y:wasBornIn ?c . }"
+        assert paper_engine.count(text) == 2
+
+
+class TestPlanCacheHook:
+    def test_prepare_uses_installed_cache(self, paper_store, prefixes):
+        from repro.server.cache import LRUCache
+
+        engine = AmberEngine.from_store(paper_store)
+        engine.plan_cache = LRUCache(4)
+        text = prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }"
+        plan_a = engine.prepare(text)
+        plan_b = engine.prepare(text)
+        assert plan_a is plan_b  # the cached tuple is returned as-is
+        stats = engine.plan_cache.stats()
+        assert stats.misses == 1 and stats.hits == 1
+
+    def test_prepare_cache_can_be_bypassed(self, paper_store, prefixes):
+        from repro.server.cache import LRUCache
+
+        engine = AmberEngine.from_store(paper_store)
+        engine.plan_cache = LRUCache(4)
+        text = prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }"
+        engine.prepare(text)
+        fresh = engine.prepare(text, use_cache=False)
+        assert fresh is not engine.prepare(text)
+        assert engine.plan_cache.stats().misses == 1
+
+
+class TestCountMatchesQuerySemantics:
+    """Regressions: count() must agree with len(query()) under caps/modifiers."""
+
+    def test_engine_cap_not_loosened_by_larger_limit(self, paper_store, prefixes):
+        engine = AmberEngine.from_store(paper_store, config=MatcherConfig(max_solutions=2))
+        # 5 livedIn/wasBornIn pairs exist; the engine cap (2) binds before
+        # the query's larger LIMIT, for query() and count() alike.
+        text = prefixes + "SELECT * WHERE { ?a y:livedIn ?b . } LIMIT 8"
+        assert engine.count(text) == len(engine.query(text))
+
+    def test_offset_applies(self, paper_engine, prefixes):
+        base = prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }"
+        assert len(paper_engine.query(base + " OFFSET 1")) == 1
+        assert paper_engine.count(base + " OFFSET 1") == 1
+        assert paper_engine.count(base + " LIMIT 1 OFFSET 1") == 1
+        assert paper_engine.count(base + " OFFSET 5") == 0
+        full = paper_engine.query(base).as_set()
+        offset_rows = paper_engine.query(base + " OFFSET 1").as_set()
+        assert offset_rows < full
+
+
+class TestConfigReassignment:
+    def test_config_swap_takes_effect_without_overrides(self, paper_store, prefixes):
+        engine = AmberEngine.from_store(paper_store)
+        text = prefixes + "SELECT * WHERE { ?a y:livedIn ?b . }"
+        assert len(engine.query(text)) > 1
+        engine.config = MatcherConfig(max_solutions=1)
+        # The cached default matcher must follow the new config.
+        assert len(engine.query(text)) == 1

@@ -1,0 +1,89 @@
+"""Concurrent querying: shared engine + service must match serial execution.
+
+Satellite of the server subsystem: N threads issuing a mixed star/complex
+workload against one shared engine return exactly the solutions of serial
+execution, and the cache statistics stay consistent (no lost or phantom
+counts) under the race.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import AmberEngine
+from repro.server import EngineService, ServiceConfig
+
+#: A mixed workload over the Figure 1 dataset: star shapes (one centre),
+#: complex shapes (cycles/paths), a DISTINCT and an unsatisfiable query.
+QUERIES = [
+    # star around a person
+    "PREFIX y: <http://dbpedia.org/ontology/> "
+    "SELECT * WHERE { ?p y:wasBornIn ?c ; y:livedIn ?l . }",
+    # star around a band
+    "PREFIX y: <http://dbpedia.org/ontology/> "
+    'SELECT * WHERE { ?b y:hasName "MCA_Band" ; y:foundedIn "1994" ; y:wasFormedIn ?c . }',
+    # complex: triangle through London/England
+    "PREFIX y: <http://dbpedia.org/ontology/> "
+    "SELECT * WHERE { ?x y:isPartOf ?y . ?y y:hasCapital ?x . ?p y:wasBornIn ?x . }",
+    # complex: path of length three
+    "PREFIX y: <http://dbpedia.org/ontology/> "
+    "SELECT * WHERE { ?a y:wasMarriedTo ?b . ?b y:livedIn ?c . ?a y:livedIn ?c . }",
+    # projection + DISTINCT
+    "PREFIX y: <http://dbpedia.org/ontology/> "
+    "SELECT DISTINCT ?c WHERE { ?p y:wasBornIn ?c . }",
+    # no solutions
+    "PREFIX x: <http://dbpedia.org/resource/> PREFIX y: <http://dbpedia.org/ontology/> "
+    "SELECT ?p WHERE { ?p y:wasBornIn x:Atlantis . }",
+]
+
+THREADS = 8
+ROUNDS = 4
+
+
+@pytest.fixture(scope="module")
+def shared_service(paper_store):
+    engine = AmberEngine.from_store(paper_store)
+    return EngineService(
+        engine,
+        ServiceConfig(plan_cache_size=32, result_cache_size=0, max_in_flight=THREADS),
+    )
+
+
+def test_concurrent_results_match_serial_and_stats_balance(shared_service):
+    serial = [shared_service.engine.query(q).as_set() for q in QUERIES]
+    assert any(serial), "workload should have at least one non-empty answer"
+
+    def run_round(round_index: int):
+        # Each thread walks the workload at a different offset so different
+        # queries overlap in time.
+        ordered = QUERIES[round_index % len(QUERIES):] + QUERIES[: round_index % len(QUERIES)]
+        return [(q, shared_service.execute(q).result.as_set()) for q in ordered]
+
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        outcomes = list(pool.map(run_round, range(THREADS * ROUNDS)))
+
+    expected = dict(zip(QUERIES, serial))
+    for round_outcomes in outcomes:
+        for query, solutions in round_outcomes:
+            assert solutions == expected[query]
+
+    # --- cache statistics must balance exactly after the hammering -------- #
+    executed = THREADS * ROUNDS * len(QUERIES)
+    stats = shared_service.stats()
+    plan = stats["plan_cache"]
+    # Serial warmup (direct engine.query) + every service execute does one
+    # plan-cache lookup; hits + misses must account for all of them.
+    assert plan["hits"] + plan["misses"] == executed + len(QUERIES)
+    # After the serial pass each distinct query is cached; concurrent rounds
+    # can only miss a key while the very first writer races, and this
+    # workload was warmed serially — so every concurrent lookup hits.
+    assert plan["misses"] == len(QUERIES)
+    assert plan["size"] == len(QUERIES)
+    queries = stats["queries"]
+    assert queries["received"] == executed
+    assert queries["answered"] == executed
+    assert queries["rejected"] == 0
+    assert queries["in_flight"] == 0
+    assert stats["latency"]["count"] == executed

@@ -100,3 +100,65 @@ class TestResultSet:
         result = ResultSet([X], [Binding({X: A})])
         assert list(result) == [Binding({X: A})]
         assert Binding({X: A}) in result
+
+
+class TestW3CSerialization:
+    def test_term_to_sparql_json_variants(self):
+        from repro.rdf.terms import BlankNode
+        from repro.sparql.bindings import term_to_sparql_json
+
+        assert term_to_sparql_json(A) == {"type": "uri", "value": "http://e/a"}
+        assert term_to_sparql_json(BlankNode("b0")) == {"type": "bnode", "value": "b0"}
+        assert term_to_sparql_json(Literal("hi")) == {"type": "literal", "value": "hi"}
+        assert term_to_sparql_json(Literal("hi", language="en")) == {
+            "type": "literal",
+            "value": "hi",
+            "xml:lang": "en",
+        }
+        assert term_to_sparql_json(
+            Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        ) == {
+            "type": "literal",
+            "value": "5",
+            "datatype": "http://www.w3.org/2001/XMLSchema#integer",
+        }
+
+    def test_to_sparql_json_document(self):
+        import json
+
+        result = ResultSet([X, Y], [Binding({X: A, Y: Literal("42")}), Binding({X: B})])
+        document = json.loads(result.to_sparql_json())
+        assert document["head"] == {"vars": ["x", "y"]}
+        bindings = document["results"]["bindings"]
+        assert bindings[0] == {
+            "x": {"type": "uri", "value": "http://e/a"},
+            "y": {"type": "literal", "value": "42"},
+        }
+        # Unbound variables are simply absent from the row object.
+        assert bindings[1] == {"x": {"type": "uri", "value": "http://e/b"}}
+
+    def test_empty_result_json(self):
+        import json
+
+        document = json.loads(ResultSet([X]).to_sparql_json())
+        assert document == {"head": {"vars": ["x"]}, "results": {"bindings": []}}
+
+    def test_to_csv_w3c_shape(self):
+        result = ResultSet(
+            [X, Y],
+            [
+                Binding({X: A, Y: Literal("plain, with comma")}),
+                Binding({X: B}),  # ?y unbound -> empty field
+            ],
+        )
+        text = result.to_csv()
+        lines = text.split("\r\n")
+        assert lines[0] == "x,y"
+        assert lines[1] == 'http://e/a,"plain, with comma"'
+        assert lines[2] == "http://e/b,"
+
+    def test_csv_literal_is_plain_lexical_form(self):
+        result = ResultSet(
+            [X], [Binding({X: Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer")})]
+        )
+        assert result.to_csv().split("\r\n")[1] == "5"

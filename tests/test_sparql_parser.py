@@ -150,3 +150,45 @@ class TestAlgebra:
     def test_select_query_len(self):
         query = SelectQuery(patterns=[TriplePattern(Variable("s"), IRI("http://e/p"), Variable("o"))])
         assert len(query) == 1
+
+
+class TestRejectionDiagnostics:
+    def test_optional_message_has_position_and_hint(self):
+        query = "SELECT ?s WHERE { ?s <http://e/p> ?o . OPTIONAL { ?s <http://e/q> ?z . } }"
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            parse_sparql(query)
+        message = str(excinfo.value)
+        assert "OPTIONAL" in message
+        assert f"offset {query.index('OPTIONAL')}" in message
+        assert "Supported syntax" in message
+
+    def test_union_message_has_position(self):
+        query = "SELECT ?s WHERE { ?s <http://e/p> ?o . UNION { ?s <http://e/q> ?z . } }"
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            parse_sparql(query)
+        message = str(excinfo.value)
+        assert "UNION" in message
+        assert f"offset {query.index('UNION')}" in message
+
+    def test_filter_message_has_position(self):
+        query = "SELECT ?s WHERE { ?s <http://e/p> ?o . FILTER(?o > 3) }"
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            parse_sparql(query)
+        assert f"offset {query.index('FILTER')}" in str(excinfo.value)
+
+
+class TestSolutionModifiers:
+    def test_offset_is_parsed(self):
+        query = parse_sparql("SELECT ?s WHERE { ?s <http://e/p> ?o . } LIMIT 10 OFFSET 3")
+        assert query.limit == 10
+        assert query.offset == 3
+
+    def test_offset_without_limit(self):
+        query = parse_sparql("SELECT ?s WHERE { ?s <http://e/p> ?o . } OFFSET 2")
+        assert query.limit is None
+        assert query.offset == 2
+
+    def test_modifiers_round_trip_via_str(self):
+        query = parse_sparql("SELECT ?s WHERE { ?s <http://e/p> ?o . } LIMIT 10 OFFSET 3")
+        again = parse_sparql(str(query))
+        assert again.limit == 10 and again.offset == 3
