@@ -34,7 +34,9 @@ def test_table1_complex_queries_size_50(benchmark, table1_setup, bench_scale, re
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     record_result(
         "table1_dbpedia_complex50.txt",
-        format_workload_summary(results, "Table 1 — complex queries, 50 triple patterns, DBpedia-like"),
+        format_workload_summary(
+            results, "Table 1 — complex queries, 50 triple patterns, DBpedia-like"
+        ),
     )
 
     amber = results["AMbER"]

@@ -37,4 +37,5 @@ def test_table4_dataset_statistics(benchmark, bench_scale, record_result):
         assert values["triples"] > 1000
         assert values["vertices"] > 0
         assert values["edges"] > 0
-    assert stats["LUBM"]["edge_types"] < stats["YAGO"]["edge_types"] < stats["DBPEDIA"]["edge_types"]
+    edge_types = {name: values["edge_types"] for name, values in stats.items()}
+    assert edge_types["LUBM"] < edge_types["YAGO"] < edge_types["DBPEDIA"]

@@ -114,7 +114,8 @@ def main() -> None:
       ?person o:isPoliticianOf ?country .
     }
     """
-    print("Politicians leading an organisation in their own country:", len(amber.query(typed)), "answers")
+    answers = len(amber.query(typed))
+    print("Politicians leading an organisation in their own country:", answers, "answers")
     print("Ontology namespace used throughout:", ONTOLOGY.base)
 
 

@@ -94,7 +94,8 @@ def main() -> None:
     for vertex in sorted(graph.vertices()):
         signature = signature_of(graph, vertex)
         synopsis = data_synopsis(signature)
-        print(f"  v{vertex} ({shorten(data.entity(vertex))}): synopsis {tuple(int(f) for f in synopsis)}")
+        compact = tuple(int(f) for f in synopsis)
+        print(f"  v{vertex} ({shorten(data.entity(vertex))}): synopsis {compact}")
 
     print("\n=== Index ensemble I = {A, S, N} (Section 4) ===")
     indexes = IndexSet.build(data)

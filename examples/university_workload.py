@@ -38,9 +38,10 @@ def main() -> None:
             queries = generator.workload(shape, size, QUERIES_PER_SIZE)
             series[size] = run_workload(engines, queries, TIMEOUT_SECONDS)
         print()
-        print(format_figure_series(series, "time", f"{shape.capitalize()} queries on LUBM-like data"))
+        title = f"{shape.capitalize()} queries on LUBM-like data"
+        print(format_figure_series(series, "time", title))
         print()
-        print(format_figure_series(series, "unanswered", f"{shape.capitalize()} queries on LUBM-like data"))
+        print(format_figure_series(series, "unanswered", title))
 
     print(
         "\nReading the tables: AMbER should have the lowest average time and"

@@ -23,19 +23,25 @@ result caching), see :mod:`repro.server` and the top-level README.md::
 
 from .amber.engine import AmberEngine, BuildReport
 from .amber.matching import MatcherConfig, QueryTimeout
+from .amber.mutation import UpdateError, UpdateResult
 from .rdf.dataset import TripleStore
 from .rdf.terms import IRI, BlankNode, Literal, Triple
 from .sparql.algebra import SelectQuery, TriplePattern, Variable
 from .sparql.bindings import Binding, ResultSet
 from .sparql.parser import parse_sparql
+from .sparql.update import UpdateRequest, parse_update
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AmberEngine",
     "BuildReport",
     "MatcherConfig",
     "QueryTimeout",
+    "UpdateError",
+    "UpdateResult",
+    "UpdateRequest",
+    "parse_update",
     "TripleStore",
     "IRI",
     "BlankNode",

@@ -4,10 +4,14 @@ from .decompose import QueryDecomposition, decompose_query, order_core_vertices
 from .embeddings import combine_component_bindings, component_bindings, solution_to_bindings
 from .engine import AmberEngine, BuildReport
 from .matching import ComponentSolution, MatcherConfig, MultigraphMatcher, QueryTimeout
+from .mutation import GraphMutator, UpdateError, UpdateResult
 
 __all__ = [
     "AmberEngine",
     "BuildReport",
+    "GraphMutator",
+    "UpdateError",
+    "UpdateResult",
     "MatcherConfig",
     "MultigraphMatcher",
     "ComponentSolution",

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ..multigraph.query_graph import QueryMultigraph
 
@@ -42,7 +42,9 @@ class QueryDecomposition:
         return len(self.satellites_of.get(core_vertex, ()))
 
 
-def decompose_query(qgraph: QueryMultigraph, component: Iterable[int] | None = None) -> QueryDecomposition:
+def decompose_query(
+    qgraph: QueryMultigraph, component: Iterable[int] | None = None
+) -> QueryDecomposition:
     """Split the query vertices of ``component`` (default: all) into core and satellite sets."""
     vertices = sorted(component) if component is not None else sorted(qgraph.vertices)
     if not vertices:

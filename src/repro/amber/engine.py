@@ -28,9 +28,11 @@ from ..rdf.turtle import parse_turtle
 from ..sparql.algebra import SelectQuery
 from ..sparql.bindings import Binding, ResultSet
 from ..sparql.parser import parse_sparql
+from ..sparql.update import UpdateRequest, parse_update
 from ..timing import Deadline
 from .embeddings import combine_component_bindings, component_bindings
 from .matching import MatcherConfig, MultigraphMatcher, QueryTimeout
+from .mutation import GraphMutator, UpdateResult
 
 __all__ = ["AmberEngine", "BuildReport", "PlanCache", "QueryPlan", "QueryTimeout"]
 
@@ -99,6 +101,10 @@ class AmberEngine:
         self.config = config or MatcherConfig()
         #: Optional plan cache consulted by :meth:`prepare` for string queries.
         self.plan_cache = plan_cache
+        #: Bumped on every mutation batch that changed the graph; cached
+        #: results keyed by (query, data_version) stay valid forever.
+        self.data_version = 0
+        self._mutator = GraphMutator(data, indexes)
 
     @property
     def config(self) -> MatcherConfig:
@@ -165,6 +171,58 @@ class AmberEngine:
     def from_turtle(cls, text: str, config: MatcherConfig | None = None) -> "AmberEngine":
         """Build the engine from a Turtle document string."""
         return cls.from_triples(parse_turtle(text), config=config)
+
+    # ------------------------------------------------------------------ #
+    # dynamic updates
+    # ------------------------------------------------------------------ #
+    def apply_update(
+        self, update: str | UpdateRequest, base_dir: str | None = None
+    ) -> UpdateResult:
+        """Apply a SPARQL UPDATE (INSERT DATA / DELETE DATA / LOAD) in place.
+
+        The multigraph and every index are maintained incrementally, so the
+        engine keeps answering queries with exactly the results a fresh
+        offline build on the mutated triple set would produce.  When the
+        graph changed, :attr:`data_version` is bumped and the plan cache is
+        invalidated (prepared plans embed dictionary ids and
+        satisfiability decisions that mutations can flip).
+
+        The engine performs no locking: concurrent readers must be excluded
+        by the caller — :class:`repro.server.EngineService` wraps this in
+        the write side of a reader-writer lock.
+        """
+        request = parse_update(update) if isinstance(update, str) else update
+        result = self._mutator.apply(request, base_dir=base_dir)
+        self._commit(result.changed)
+        return result
+
+    def insert_triples(self, triples: Iterable[Triple]) -> int:
+        """Insert triples (set semantics); returns how many were new."""
+        count = self._mutator.insert_triples(triples)
+        self._commit(count > 0)
+        return count
+
+    def delete_triples(self, triples: Iterable[Triple]) -> int:
+        """Delete triples; returns how many were present."""
+        count = self._mutator.delete_triples(triples)
+        self._commit(count > 0)
+        return count
+
+    def _commit(self, changed: bool) -> None:
+        """Finish a mutation batch: version bump + plan-cache invalidation."""
+        if not changed:
+            return
+        self.data_version += 1
+        cache = self.plan_cache
+        if cache is None:
+            return
+        clear = getattr(cache, "clear", None)
+        if clear is not None:
+            clear()
+        else:
+            # A cache that cannot be cleared would serve stale plans —
+            # dropping it is the only safe option.
+            self.plan_cache = None
 
     # ------------------------------------------------------------------ #
     # online stage

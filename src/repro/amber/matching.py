@@ -177,7 +177,9 @@ class MultigraphMatcher:
             run.check()
             solution = ComponentSolution(core={initial: candidate})
             if satellites_of_initial:
-                satellite_matches = self._match_satellites(qgraph, satellites_of_initial, initial, candidate)
+                satellite_matches = self._match_satellites(
+                    qgraph, satellites_of_initial, initial, candidate
+                )
                 if satellite_matches is None:
                     continue
                 solution.satellites.update(satellite_matches)
@@ -223,11 +225,15 @@ class MultigraphMatcher:
             )
             new_solution.core[next_vertex] = candidate
             if satellites:
-                satellite_matches = self._match_satellites(qgraph, satellites, next_vertex, candidate)
+                satellite_matches = self._match_satellites(
+                    qgraph, satellites, next_vertex, candidate
+                )
                 if satellite_matches is None:
                     continue
                 new_solution.satellites.update(satellite_matches)
-            yield from self._recurse(qgraph, decomposition, ordered_core, depth + 1, new_solution, run)
+            yield from self._recurse(
+                qgraph, decomposition, ordered_core, depth + 1, new_solution, run
+            )
             if run.limit_reached():
                 return
 

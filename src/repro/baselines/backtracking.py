@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..rdf.terms import IRI, Literal, Term
+from ..rdf.terms import Literal, Term
 from ..sparql.algebra import SelectQuery, TriplePattern, Variable
 from ..sparql.bindings import Binding
 from .base import BaselineEngine, Deadline
@@ -132,7 +132,11 @@ class GraphBacktrackingEngine(BaselineEngine):
 
     def _ground_holds(self, pattern: TriplePattern) -> bool:
         subject, obj = pattern.subject, pattern.object
-        if isinstance(subject, Variable) or isinstance(obj, Variable) or isinstance(subject, Literal):
+        if (
+            isinstance(subject, Variable)
+            or isinstance(obj, Variable)
+            or isinstance(subject, Literal)
+        ):
             return False
         return any(True for _ in self.store.triples(subject, pattern.predicate, obj))
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterator
 
-from ..rdf.terms import IRI, BlankNode, Literal, Term
+from ..rdf.terms import Literal, Term
 from ..sparql.algebra import SelectQuery, TriplePattern, Variable
 from ..sparql.bindings import Binding
 from ..rdf.dataset import TripleStore
@@ -107,7 +107,9 @@ class FilterRefineEngine(BaselineEngine):
         }
 
     @staticmethod
-    def _intersect(candidates: dict[Variable, set[Term]], variable: Variable, found: set[Term]) -> None:
+    def _intersect(
+        candidates: dict[Variable, set[Term]], variable: Variable, found: set[Term]
+    ) -> None:
         if variable in candidates:
             candidates[variable] &= found
         else:
@@ -137,8 +139,11 @@ class FilterRefineEngine(BaselineEngine):
     def _partial_consistent(self, query: SelectQuery, assignment: dict[Variable, Term]) -> bool:
         """Verify every pattern whose variables are all assigned."""
         for pattern in query.patterns:
-            subject = assignment.get(pattern.subject, pattern.subject) if isinstance(pattern.subject, Variable) else pattern.subject
-            obj = assignment.get(pattern.object, pattern.object) if isinstance(pattern.object, Variable) else pattern.object
+            subject, obj = pattern.subject, pattern.object
+            if isinstance(subject, Variable):
+                subject = assignment.get(subject, subject)
+            if isinstance(obj, Variable):
+                obj = assignment.get(obj, obj)
             if isinstance(subject, Variable) or isinstance(obj, Variable):
                 continue
             if isinstance(subject, Literal):
@@ -149,6 +154,10 @@ class FilterRefineEngine(BaselineEngine):
 
     def _ground_holds(self, pattern: TriplePattern) -> bool:
         subject, obj = pattern.subject, pattern.object
-        if isinstance(subject, Variable) or isinstance(obj, Variable) or isinstance(subject, Literal):
+        if (
+            isinstance(subject, Variable)
+            or isinstance(obj, Variable)
+            or isinstance(subject, Literal)
+        ):
             return False
         return any(True for _ in self.store.triples(subject, pattern.predicate, obj))

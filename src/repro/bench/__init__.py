@@ -12,7 +12,12 @@ from .experiments import (
     table4_dataset_statistics,
     table5_offline_stage,
 )
-from .reporting import format_figure_series, format_table, format_workload_summary
+from .reporting import (
+    format_figure_series,
+    format_table,
+    format_workload_summary,
+    timing_fingerprint,
+)
 from .runner import QueryOutcome, WorkloadResult, run_query, run_workload
 from .service_bench import ServiceBenchResult, format_service_bench, run_service_benchmark
 
@@ -34,6 +39,7 @@ __all__ = [
     "format_table",
     "format_figure_series",
     "format_workload_summary",
+    "timing_fingerprint",
     "ServiceBenchResult",
     "format_service_bench",
     "run_service_benchmark",

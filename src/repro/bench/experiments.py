@@ -83,7 +83,9 @@ def build_dataset(name: str, scale: ExperimentScale | None = None) -> TripleStor
     try:
         builder = DATASET_BUILDERS[name.upper()]
     except KeyError as exc:
-        raise ValueError(f"unknown dataset {name!r}; expected one of {sorted(DATASET_BUILDERS)}") from exc
+        raise ValueError(
+            f"unknown dataset {name!r}; expected one of {sorted(DATASET_BUILDERS)}"
+        ) from exc
     return builder(scale).store()
 
 

@@ -8,14 +8,47 @@ the harness dependency-free while making "who wins and where" obvious.
 
 from __future__ import annotations
 
+import re
 from typing import Mapping, Sequence
 
 from .runner import WorkloadResult
 
-__all__ = ["format_table", "format_figure_series", "format_workload_summary"]
+__all__ = [
+    "format_table",
+    "format_figure_series",
+    "format_workload_summary",
+    "timing_fingerprint",
+]
+
+_MEASUREMENT_RE = re.compile(r"\d+(?:\.\d+)?|\bn/a\b")
 
 
-def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None) -> str:
+def timing_fingerprint(text: str) -> str:
+    """Reduce a formatted result table to its measurement-independent structure.
+
+    Every measured value — timings, item/row counts, percentages, the
+    ``n/a`` of an unanswered cell — is replaced with a placeholder, and the
+    alignment padding and rules whose widths depend on those digits are
+    collapsed.  What survives is the genuine structure: titles, column
+    headers, row labels and the table shape.  (Masking must cover integers
+    too: the synthetic generators are only deterministic within one process,
+    because hash randomisation perturbs set/dict iteration, so item counts
+    and timeout outcomes legitimately differ between runs.)
+
+    Two tables with equal fingerprints differ only in measurements, which
+    lets the benchmark harness keep the committed file — and its committed
+    numbers — instead of churning perf-trajectory diffs on every rerun.
+    """
+    stripped = _MEASUREMENT_RE.sub("#", text)
+    stripped = re.sub(r"-{2,}", "-", stripped)
+    stripped = re.sub(r"={2,}", "=", stripped)
+    stripped = re.sub(r" {2,}", " ", stripped)
+    return "\n".join(line.rstrip() for line in stripped.splitlines()).strip()
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
     """Render a simple ASCII table."""
     str_rows = [[_fmt(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]

@@ -82,7 +82,9 @@ def run_query(
         result = engine.query(query, timeout_seconds=timeout_seconds)
         elapsed = time.perf_counter() - start
         if timeout_seconds is not None and elapsed > timeout_seconds:
-            return QueryOutcome(engine.name, answered=False, seconds=elapsed, rows=0, error="timeout")
+            return QueryOutcome(
+                engine.name, answered=False, seconds=elapsed, rows=0, error="timeout"
+            )
         return QueryOutcome(engine.name, answered=True, seconds=elapsed, rows=len(result))
     except QueryTimeout:
         elapsed = time.perf_counter() - start

@@ -122,7 +122,10 @@ def run_service_benchmark(
 
 def format_service_bench(results: Sequence[ServiceBenchResult], title: str) -> str:
     """Render a small ASCII table over several client counts."""
-    header = f"{'clients':>8} | {'requests':>8} | {'answered':>8} | {'qps':>10} | {'p50 ms':>8} | {'plan hit%':>9}"
+    header = (
+        f"{'clients':>8} | {'requests':>8} | {'answered':>8} | "
+        f"{'qps':>10} | {'p50 ms':>8} | {'plan hit%':>9}"
+    )
     lines = [title, "=" * len(header), header, "-" * len(header)]
     for result in results:
         p50 = result.latency.get("p50_seconds")

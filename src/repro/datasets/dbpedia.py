@@ -81,7 +81,9 @@ class DbpediaGenerator(DatasetGenerator):
             }
         #: Rare infobox predicates spread thinly across entities, mimicking
         #: DBpedia's long tail of ~700 predicates.
-        self._tail_predicates = [self._predicate(f"infobox/property{i}") for i in range(extra_predicates)]
+        self._tail_predicates = [
+            self._predicate(f"infobox/property{i}") for i in range(extra_predicates)
+        ]
 
     def generate(self) -> list[Triple]:
         triples: list[Triple] = []
@@ -102,7 +104,8 @@ class DbpediaGenerator(DatasetGenerator):
                 )
                 # Literal attributes: every entity gets a few, DBpedia-style.
                 for attribute in self._rng.sample(attributes, k=min(3, len(attributes))):
-                    triples.append(Triple(entity, attribute, self._literal(f"{attribute.value.rsplit('/', 1)[-1]}-{i}")))
+                    suffix = f"{attribute.value.rsplit('/', 1)[-1]}-{i}"
+                    triples.append(Triple(entity, attribute, self._literal(suffix)))
                 # Resource facts: skewed targets inside the domain's preferences.
                 for _ in range(self.facts_per_entity):
                     relation_index = self._rng.randrange(len(relations))
@@ -137,7 +140,9 @@ class DbpediaGenerator(DatasetGenerator):
         # Only the resource-valued (odd-indexed) tail predicates; the even ones
         # are literal-valued and must stay so.
         predicate_pool.extend(self._tail_predicates[1::2])
-        chosen = self._rng.sample(predicate_pool, k=min(self.prominent_extra_facts, len(predicate_pool)))
+        chosen = self._rng.sample(
+            predicate_pool, k=min(self.prominent_extra_facts, len(predicate_pool))
+        )
         for predicate in chosen:
             target = self._choice(all_entities)
             if target != entity:
@@ -145,9 +150,8 @@ class DbpediaGenerator(DatasetGenerator):
         attribute_pool = [per_domain["attributes"] for per_domain in self._predicates.values()]
         for attributes in attribute_pool:
             for attribute in self._rng.sample(attributes, k=min(2, len(attributes))):
-                facts.append(
-                    Triple(entity, attribute, self._literal(f"{attribute.value.rsplit('/', 1)[-1]}-p{index}"))
-                )
+                suffix = f"{attribute.value.rsplit('/', 1)[-1]}-p{index}"
+                facts.append(Triple(entity, attribute, self._literal(suffix)))
         return facts
 
     def _relation_targets(self, domain: str, entities: dict[str, list[IRI]]) -> list[list[IRI]]:

@@ -55,7 +55,13 @@ class LubmGenerator(DatasetGenerator):
     def generate(self) -> list[Triple]:
         triples: list[Triple] = []
         universities: list[IRI] = []
-        entity_counter = {"department": 0, "professor": 0, "student": 0, "course": 0, "publication": 0}
+        entity_counter = {
+            "department": 0,
+            "professor": 0,
+            "student": 0,
+            "course": 0,
+            "publication": 0,
+        }
 
         for u in range(self.scale):
             university = self._resource("University", u)
@@ -90,8 +96,10 @@ class LubmGenerator(DatasetGenerator):
                     triples.append(Triple(professor, self.works_for, department))
                     triples.append(Triple(professor, self.degree_from, self._choice(universities)))
                     triples.append(Triple(professor, self.name, self._literal(f"Professor {p}")))
-                    triples.append(Triple(professor, self.email, self._literal(f"prof{p}@example.org")))
-                    triples.append(Triple(professor, self.telephone, self._literal(f"+1-555-{p:06d}")))
+                    email = self._literal(f"prof{p}@example.org")
+                    triples.append(Triple(professor, self.email, email))
+                    phone = self._literal(f"+1-555-{p:06d}")
+                    triples.append(Triple(professor, self.telephone, phone))
                     for course in self._rng.sample(courses, k=min(2, len(courses))):
                         triples.append(Triple(professor, self.teacher_of, course))
                     for _ in range(self.publications_per_professor):
@@ -100,7 +108,8 @@ class LubmGenerator(DatasetGenerator):
                         publication = self._resource("Publication", b)
                         triples.append(Triple(publication, RDF_TYPE, ONTOLOGY.Publication))
                         triples.append(Triple(publication, self.publication_author, professor))
-                        triples.append(Triple(publication, self.name, self._literal(f"Publication {b}")))
+                        title = self._literal(f"Publication {b}")
+                        triples.append(Triple(publication, self.name, title))
 
                 triples.append(Triple(professors[0], self.head_of, department))
 
@@ -112,7 +121,8 @@ class LubmGenerator(DatasetGenerator):
                     triples.append(Triple(student, self.member_of, department))
                     triples.append(Triple(student, self.advisor, self._choice(professors)))
                     triples.append(Triple(student, self.name, self._literal(f"Student {s}")))
-                    triples.append(Triple(student, self.email, self._literal(f"student{s}@example.org")))
+                    email = self._literal(f"student{s}@example.org")
+                    triples.append(Triple(student, self.email, email))
                     for course in self._rng.sample(courses, k=min(3, len(courses))):
                         triples.append(Triple(student, self.takes_course, course))
 

@@ -138,7 +138,8 @@ class WorkloadGenerator:
             if triple in chosen_set:
                 stalled += 1
                 continue
-            if isinstance(triple.object, Literal) and self._rng.random() > self.config.literal_probability:
+            literal_object = isinstance(triple.object, Literal)
+            if literal_object and self._rng.random() > self.config.literal_probability:
                 stalled += 1
                 continue
             chosen.append(triple)
@@ -226,7 +227,12 @@ class WorkloadGenerator:
             variable_of[first.subject] = variable
             patterns[0] = TriplePattern(variable, first.predicate, patterns[0].object)
 
-        query = SelectQuery(patterns=patterns, projection=sorted(variable_of.values(), key=lambda v: v.name))
+        projection = sorted(variable_of.values(), key=lambda v: v.name)
+        query = SelectQuery(patterns=patterns, projection=projection)
         return GeneratedQuery(
-            query=query, shape=shape, size=size, seed_entity=seed_entity, source_triples=list(triples)
+            query=query,
+            shape=shape,
+            size=size,
+            seed_entity=seed_entity,
+            source_triples=list(triples),
         )

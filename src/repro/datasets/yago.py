@@ -82,13 +82,17 @@ class YagoGenerator(DatasetGenerator):
         for i, country in enumerate(countries):
             triples.append(Triple(country, RDF_TYPE, ONTOLOGY.Country))
             triples.append(Triple(country, att["hasName"], self._literal(f"Country {i}")))
-            triples.append(Triple(country, att["hasPopulation"], self._literal(1_000_000 + i * 37_000)))
+            population = self._literal(1_000_000 + i * 37_000)
+            triples.append(Triple(country, att["hasPopulation"], population))
             triples.append(Triple(country, att["hasArea"], self._literal(10_000 + i * 517)))
             capital = cities[self._skewed_index(len(cities))]
             triples.append(Triple(country, rel["hasCapital"], capital))
-            triples.append(Triple(country, rel["hasOfficialLanguage"], self._skewed(countries, exclude=country)))
-            triples.append(Triple(country, rel["hasNeighbor"], self._skewed(countries, exclude=country)))
-            triples.append(Triple(country, rel["dealsWith"], self._skewed(countries, exclude=country)))
+            other = self._skewed(countries, exclude=country)
+            triples.append(Triple(country, rel["hasOfficialLanguage"], other))
+            other = self._skewed(countries, exclude=country)
+            triples.append(Triple(country, rel["hasNeighbor"], other))
+            other = self._skewed(countries, exclude=country)
+            triples.append(Triple(country, rel["dealsWith"], other))
             triples.append(Triple(country, rel["exports"], self._skewed(works)))
             triples.append(Triple(country, rel["imports"], self._skewed(works)))
 
@@ -102,7 +106,8 @@ class YagoGenerator(DatasetGenerator):
         for i, organization in enumerate(organizations):
             triples.append(Triple(organization, RDF_TYPE, ONTOLOGY.Organization))
             triples.append(Triple(organization, att["hasName"], self._literal(f"Organization {i}")))
-            triples.append(Triple(organization, att["hasBudget"], self._literal(1_000_000 + i * 99_000)))
+            budget = self._literal(1_000_000 + i * 99_000)
+            triples.append(Triple(organization, att["hasBudget"], budget))
             triples.append(Triple(organization, rel["isLocatedIn"], self._skewed(cities)))
 
         for i, work in enumerate(works):
@@ -131,9 +136,11 @@ class YagoGenerator(DatasetGenerator):
         for i, person in enumerate(persons):
             triples.append(Triple(person, RDF_TYPE, ONTOLOGY.Person))
             triples.append(Triple(person, att["hasName"], self._literal(f"Person {i}")))
-            triples.append(Triple(person, att["wasBornOnDate"], self._literal(f"19{i % 90 + 10}-01-01")))
+            born = self._literal(f"19{i % 90 + 10}-01-01")
+            triples.append(Triple(person, att["wasBornOnDate"], born))
             if i % 3 == 0:
-                triples.append(Triple(person, att["diedOnDate"], self._literal(f"20{i % 20:02d}-01-01")))
+                died = self._literal(f"20{i % 20:02d}-01-01")
+                triples.append(Triple(person, att["diedOnDate"], died))
             if i % 4 == 0:
                 triples.append(Triple(person, att["hasHeight"], self._literal(150 + i % 50)))
             triples.append(Triple(person, rel["wasBornIn"], self._skewed(cities)))
@@ -141,7 +148,8 @@ class YagoGenerator(DatasetGenerator):
             fact_budget = self.facts_per_person
             if self._rng.random() < self.famous_fraction:
                 fact_budget += self.famous_extra_facts
-                triples.append(Triple(person, att["hasMotto"], self._literal(f"Motto of person {i}")))
+                motto = self._literal(f"Motto of person {i}")
+                triples.append(Triple(person, att["hasMotto"], motto))
                 triples.append(Triple(person, att["hasBudget"], self._literal(10_000 + i)))
             for _ in range(fact_budget):
                 relation_name, targets = self._choice(person_relations)

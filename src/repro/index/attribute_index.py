@@ -33,6 +33,19 @@ class AttributeIndex:
         """Incrementally register ``attribute`` on ``vertex``."""
         self._postings.setdefault(attribute, set()).add(vertex)
 
+    def remove(self, vertex: int, attribute: int) -> None:
+        """Incrementally drop ``attribute`` from ``vertex``.
+
+        Empty inverted lists are deleted so the index stays identical to a
+        from-scratch build on the mutated graph (size reporting included).
+        """
+        posting = self._postings.get(attribute)
+        if posting is None:
+            return
+        posting.discard(vertex)
+        if not posting:
+            del self._postings[attribute]
+
     def vertices_with(self, attribute: int) -> frozenset[int]:
         """Return the vertices carrying ``attribute`` (empty when unknown)."""
         return frozenset(self._postings.get(attribute, ()))

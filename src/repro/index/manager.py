@@ -77,6 +77,26 @@ class IndexSet:
         )
         return cls(attributes, signatures, neighborhoods, report)
 
+    # ------------------------------------------------------------------ #
+    # incremental maintenance (dynamic updates)
+    # ------------------------------------------------------------------ #
+    def refresh_vertex(self, graph, vertex: int) -> None:
+        """Re-derive the edge-dependent indexes of one vertex from ``graph``.
+
+        Called by :class:`repro.amber.mutation.GraphMutator` for both
+        endpoints of every inserted/deleted edge (and for brand-new
+        vertices): the OTIL pair is rebuilt locally and the synopsis is
+        recomputed, so ``S`` and ``N`` stay exact without an offline
+        rebuild.  The attribute index is maintained directly via
+        :meth:`AttributeIndex.add` / :meth:`AttributeIndex.remove`.
+        """
+        self.neighborhoods.refresh_vertex(graph, vertex)
+        self.signatures.refresh(graph, vertex)
+
+    def compact(self) -> bool:
+        """Give the signature index a chance to re-pack its R-tree."""
+        return self.signatures.compact_if_needed()
+
 
 def build_indexes(data: DataMultigraph, rtree_fanout: int = 16) -> IndexSet:
     """Convenience wrapper mirroring the paper's notation ``I := {A, S, N}``."""

@@ -120,6 +120,24 @@ class NeighborhoodIndex:
             self._outgoing[vertex] = outgoing
         return self
 
+    def refresh_vertex(self, graph: Multigraph, vertex: int) -> None:
+        """Rebuild the OTIL pair of one vertex from the current graph adjacency.
+
+        An edge change between ``u`` and ``v`` only alters the tries of
+        ``u`` and ``v`` (an OTIL indexes the multi-edges *incident on its
+        vertex*), so refreshing the two endpoints after every insert/delete
+        keeps the whole index exact in O(degree) per endpoint — no offline
+        rebuild.  Also registers brand-new vertices with empty tries.
+        """
+        incoming = Otil()
+        for neighbor, types in graph.in_neighbors(vertex).items():
+            incoming.insert(neighbor, types)
+        outgoing = Otil()
+        for neighbor, types in graph.out_neighbors(vertex).items():
+            outgoing.insert(neighbor, types)
+        self._incoming[vertex] = incoming
+        self._outgoing[vertex] = outgoing
+
     def neighbors(self, vertex: int, direction: str, edge_types: Iterable[int]) -> set[int]:
         """Return neighbours of ``vertex`` reachable via ``edge_types`` in ``direction``.
 

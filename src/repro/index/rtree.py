@@ -97,9 +97,12 @@ class RTree:
             groups = self._str_partition(nodes, key=lambda node: node.lower)
             parents = []
             for group in groups:
-                lower = tuple(min(child.lower[d] for child in group) for d in range(self.dimensions))
-                upper = tuple(max(child.upper[d] for child in group) for d in range(self.dimensions))
-                parents.append(RTreeNode(lower=lower, upper=upper, children=list(group), entries=[]))
+                dims = range(self.dimensions)
+                lower = tuple(min(child.lower[d] for child in group) for d in dims)
+                upper = tuple(max(child.upper[d] for child in group) for d in dims)
+                parents.append(
+                    RTreeNode(lower=lower, upper=upper, children=list(group), entries=[])
+                )
             nodes = parents
         return nodes[0]
 
@@ -163,7 +166,8 @@ class RTree:
         stack = [self.root]
         while stack:
             node = stack.pop()
-            if any(node.upper[d] < lower[d] or node.lower[d] > upper[d] for d in range(self.dimensions)):
+            dims = range(self.dimensions)
+            if any(node.upper[d] < lower[d] or node.lower[d] > upper[d] for d in dims):
                 continue
             if node.is_leaf:
                 for point, payload in node.entries:

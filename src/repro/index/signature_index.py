@@ -17,12 +17,28 @@ __all__ = ["SignatureIndex"]
 
 
 class SignatureIndex:
-    """R-tree backed index over per-vertex synopses."""
+    """R-tree backed index over per-vertex synopses.
+
+    The synopsis table ``_synopses`` is always exact.  Dynamic updates mark
+    the affected vertices *stale* instead of touching the bulk-loaded
+    R-tree: a stale vertex's R-tree entry is ignored by :meth:`candidates`
+    and the vertex is checked against its current synopsis directly.  When
+    the stale overlay grows past a fraction of the index the R-tree is
+    re-packed (:meth:`compact_if_needed`), keeping lookups near bulk-loaded
+    performance under sustained writes.
+    """
+
+    #: Re-pack the R-tree when stale entries exceed this fraction of the index.
+    COMPACT_FRACTION = 0.125
+    #: ... but never bother below this many stale entries.
+    COMPACT_MIN_STALE = 64
 
     def __init__(self, graph: Multigraph | None = None, fanout: int = 16):
         self._fanout = fanout
         self._synopses: dict[int, tuple[float, ...]] = {}
         self._rtree = RTree(SYNOPSIS_FIELDS, fanout)
+        #: Vertices whose R-tree entry is missing or out of date.
+        self._stale: set[int] = set()
         if graph is not None:
             self.build(graph)
 
@@ -33,7 +49,31 @@ class SignatureIndex:
         }
         items = [(fields, vertex) for vertex, fields in self._synopses.items()]
         self._rtree = RTree.bulk_load(items, SYNOPSIS_FIELDS, self._fanout)
+        self._stale = set()
         return self
+
+    def refresh(self, graph: Multigraph, vertex: int) -> None:
+        """Recompute the synopsis of ``vertex`` after its incident edges changed."""
+        fields = data_synopsis(signature_of(graph, vertex))
+        if self._synopses.get(vertex) == fields and vertex not in self._stale:
+            return
+        self._synopses[vertex] = fields
+        self._stale.add(vertex)
+
+    def compact_if_needed(self) -> bool:
+        """Re-pack the R-tree when the stale overlay has grown too large."""
+        threshold = max(self.COMPACT_MIN_STALE, int(len(self._synopses) * self.COMPACT_FRACTION))
+        if len(self._stale) < threshold:
+            return False
+        items = [(fields, vertex) for vertex, fields in self._synopses.items()]
+        self._rtree = RTree.bulk_load(items, SYNOPSIS_FIELDS, self._fanout)
+        self._stale = set()
+        return True
+
+    @property
+    def stale_count(self) -> int:
+        """Number of vertices served from the overlay instead of the R-tree."""
+        return len(self._stale)
 
     def synopsis(self, vertex: int) -> tuple[float, ...]:
         """Return the stored synopsis of ``vertex``."""
@@ -50,7 +90,18 @@ class SignatureIndex:
         signature, exactly as produced by the query multigraph.
         """
         query_fields = query_synopsis(incoming, outgoing)
-        return {payload for _, payload in self._rtree.dominating(query_fields)}
+        if not self._stale:
+            return {payload for _, payload in self._rtree.dominating(query_fields)}
+        stale = self._stale
+        found = {
+            payload
+            for _, payload in self._rtree.dominating(query_fields)
+            if payload not in stale
+        }
+        found.update(
+            vertex for vertex in stale if dominates(query_fields, self._synopses[vertex])
+        )
+        return found
 
     def candidates_scan(
         self,

@@ -18,7 +18,13 @@ from typing import Generic, Hashable, Iterator, TypeVar
 
 from ..rdf.terms import IRI, BlankNode, Literal
 
-__all__ = ["IdDictionary", "VertexDictionary", "EdgeTypeDictionary", "AttributeDictionary", "GraphDictionaries"]
+__all__ = [
+    "IdDictionary",
+    "VertexDictionary",
+    "EdgeTypeDictionary",
+    "AttributeDictionary",
+    "GraphDictionaries",
+]
 
 K = TypeVar("K", bound=Hashable)
 

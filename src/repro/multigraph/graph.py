@@ -59,6 +59,39 @@ class Multigraph:
         self._attributes[vertex].add(attribute)
 
     # ------------------------------------------------------------------ #
+    # removal (dynamic updates)
+    # ------------------------------------------------------------------ #
+    def remove_edge(self, source: int, target: int, edge_type: int) -> bool:
+        """Remove ``edge_type`` from the edge ``source -> target``.
+
+        Returns True when the type was present.  When the multi-edge loses
+        its last type the vertex pair disappears from both adjacency maps,
+        so neighbourhood views stay identical to a from-scratch build on
+        the remaining triples.  Vertices are never removed: dictionary ids
+        are dense and stable, and an isolated vertex cannot match any
+        constrained query vertex.
+        """
+        types = self._out.get(source, {}).get(target)
+        if types is None or edge_type not in types:
+            return False
+        types.discard(edge_type)
+        if not types:
+            del self._out[source][target]
+        mirror = self._in[target][source]
+        mirror.discard(edge_type)
+        if not mirror:
+            del self._in[target][source]
+        return True
+
+    def remove_attribute(self, vertex: int, attribute: int) -> bool:
+        """Detach attribute id ``attribute`` from ``vertex``; True when present."""
+        attributes = self._attributes.get(vertex)
+        if attributes is None or attribute not in attributes:
+            return False
+        attributes.discard(attribute)
+        return True
+
+    # ------------------------------------------------------------------ #
     # basic accessors
     # ------------------------------------------------------------------ #
     def __contains__(self, vertex: int) -> bool:

@@ -129,8 +129,10 @@ class QueryMultigraph:
         vertex signature used for synopsis-based pruning (Section 4.2).
         """
         vertex = self.vertices[identifier]
-        multi_edges = [frozenset(types) for _, types in self.graph.out_neighbors(identifier).items()]
-        multi_edges += [frozenset(types) for _, types in self.graph.in_neighbors(identifier).items()]
+        outgoing = self.graph.out_neighbors(identifier)
+        incoming = self.graph.in_neighbors(identifier)
+        multi_edges = [frozenset(types) for types in outgoing.values()]
+        multi_edges += [frozenset(types) for types in incoming.values()]
         multi_edges += [constraint.edge_types for constraint in vertex.iri_constraints]
         return multi_edges
 
@@ -236,5 +238,9 @@ def _add_pattern(qgraph: QueryMultigraph, pattern: TriplePattern, data: DataMult
         return
     source_id = data.vertex_id(subject)
     target_id = data.vertex_id(obj)
-    if source_id is None or target_id is None or not data.graph.has_edge(source_id, target_id, edge_type_id):
+    if (
+        source_id is None
+        or target_id is None
+        or not data.graph.has_edge(source_id, target_id, edge_type_id)
+    ):
         qgraph.unsatisfiable = True

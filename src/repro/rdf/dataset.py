@@ -199,5 +199,7 @@ class TripleStore:
             "triples": len(self._triples),
             "vertices": len(iri_nodes),
             "edges": resource_edges,
-            "edge_types": len({t.predicate for t in self._triples if isinstance(t.object, (IRI, BlankNode))}),
+            "edge_types": len(
+                {t.predicate for t in self._triples if isinstance(t.object, (IRI, BlankNode))}
+            ),
         }

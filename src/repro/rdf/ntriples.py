@@ -14,7 +14,13 @@ from typing import Iterable, Iterator, TextIO
 
 from .terms import IRI, BlankNode, Literal, Triple
 
-__all__ = ["NTriplesParseError", "parse_ntriples", "parse_ntriples_file", "serialize_ntriples", "write_ntriples_file"]
+__all__ = [
+    "NTriplesParseError",
+    "parse_ntriples",
+    "parse_ntriples_file",
+    "serialize_ntriples",
+    "write_ntriples_file",
+]
 
 
 class NTriplesParseError(ValueError):

@@ -113,7 +113,9 @@ class Triple:
 
     def __post_init__(self) -> None:
         if not isinstance(self.subject, (IRI, BlankNode)):
-            raise TypeError(f"triple subject must be IRI or BlankNode, got {type(self.subject).__name__}")
+            raise TypeError(
+                f"triple subject must be IRI or BlankNode, got {type(self.subject).__name__}"
+            )
         if not isinstance(self.predicate, IRI):
             raise TypeError(f"triple predicate must be IRI, got {type(self.predicate).__name__}")
         if not isinstance(self.object, (IRI, BlankNode, Literal)):

@@ -161,7 +161,12 @@ class TurtleParser:
     def _parse_literal(token: str) -> Literal:
         closing = _find_closing_quote(token)
         raw = token[1:closing]
-        value = raw.replace('\\"', '"').replace("\\n", "\n").replace("\\t", "\t").replace("\\\\", "\\")
+        value = (
+            raw.replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\\t", "\t")
+            .replace("\\\\", "\\")
+        )
         suffix = token[closing + 1 :]
         if suffix.startswith("@"):
             return Literal(value, language=suffix[1:])

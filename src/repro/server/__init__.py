@@ -11,7 +11,15 @@ process in the paper's "build once, query many" spirit:
 
 from .cache import CacheStats, LRUCache
 from .http import SparqlHTTPServer, SparqlRequestHandler, serve
-from .service import EngineService, QueryResponse, ServiceConfig, ServiceOverloaded
+from .rwlock import ReadWriteLock
+from .service import (
+    EngineService,
+    QueryResponse,
+    ServiceConfig,
+    ServiceOverloaded,
+    ServiceReadOnly,
+    UpdateResponse,
+)
 from .stats import LatencyRecorder
 
 __all__ = [
@@ -19,8 +27,11 @@ __all__ = [
     "LRUCache",
     "EngineService",
     "QueryResponse",
+    "UpdateResponse",
     "ServiceConfig",
     "ServiceOverloaded",
+    "ServiceReadOnly",
+    "ReadWriteLock",
     "LatencyRecorder",
     "SparqlHTTPServer",
     "SparqlRequestHandler",

@@ -72,6 +72,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="admission-control limit on concurrently evaluating queries "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--read-only",
+        action="store_true",
+        help="disable POST /update (the service answers queries only)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress per-request logging")
     return parser
 
@@ -85,6 +90,7 @@ def build_service(args: argparse.Namespace) -> EngineService:
         plan_cache_size=args.plan_cache,
         result_cache_size=args.result_cache,
         max_in_flight=args.max_in_flight,
+        read_only=args.read_only,
     )
     return EngineService(engine, config)
 

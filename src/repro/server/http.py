@@ -1,18 +1,23 @@
 """SPARQL Protocol-style HTTP front end over an :class:`EngineService`.
 
 Implements the subset of the W3C SPARQL 1.1 Protocol that matches the
-engine's SELECT fragment:
+engine's SELECT/UPDATE fragments:
 
 * ``GET /sparql?query=...`` and ``POST /sparql`` (urlencoded form or raw
   ``application/sparql-query`` body) answer queries;
+* ``POST /update`` (urlencoded ``update=`` form or raw
+  ``application/sparql-update`` body) applies INSERT DATA / DELETE DATA /
+  LOAD under the service's writer lock and returns the mutation counts;
 * results serialize as ``application/sparql-results+json`` (default) or
   ``text/csv`` — chosen by the ``format`` parameter or the Accept header;
 * ``GET /stats`` exposes the service counters, cache statistics, latency
-  percentiles and the offline-stage :class:`BuildReport`;
+  percentiles, write/lock statistics and the offline-stage
+  :class:`BuildReport`;
 * ``GET /health`` is a trivial liveness probe.
 
 Requests run on a bounded worker pool (stdlib only); error mapping is
-parse error -> 400, query timeout / admission rejection -> 503.
+parse/execution error -> 400, read-only rejection -> 403, query timeout /
+admission rejection -> 503.
 """
 
 from __future__ import annotations
@@ -24,10 +29,11 @@ from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
 from ..amber.engine import AmberEngine
+from ..amber.mutation import UpdateError
 from ..errors import QueryTimeout, UnsupportedQueryError
 from ..sparql.bindings import ResultSet
 from ..sparql.tokenizer import SparqlSyntaxError
-from .service import EngineService, ServiceConfig, ServiceOverloaded
+from .service import EngineService, ServiceConfig, ServiceOverloaded, ServiceReadOnly
 
 __all__ = ["SparqlHTTPServer", "SparqlRequestHandler", "serve"]
 
@@ -52,6 +58,8 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         url = urlsplit(self.path)
         if url.path == "/sparql":
             self._handle_query(parse_qs(url.query))
+        elif url.path == "/update":
+            self._send_error_json(405, "MethodNotAllowed", "updates must be POSTed")
         elif url.path == "/stats":
             self._send_json(200, self.server.service.stats())
         elif url.path == "/health":
@@ -61,9 +69,24 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         url = urlsplit(self.path)
-        if url.path != "/sparql":
+        if url.path == "/sparql":
+            params = self._read_post_params(url, raw_body_key="query")
+            if params is not None:
+                self._handle_query(params)
+        elif url.path == "/update":
+            params = self._read_post_params(url, raw_body_key="update")
+            if params is not None:
+                self._handle_update(params)
+        else:
             self._send_error_json(404, "NotFound", f"no handler for {url.path}")
-            return
+
+    def _read_post_params(self, url, raw_body_key: str) -> dict[str, list[str]] | None:
+        """Merge query-string and POST-body parameters; None after an error reply.
+
+        A raw (non-form) body is the SPARQL protocol's "via POST directly"
+        form: the whole body is the query or update text, stored under
+        ``raw_body_key``.
+        """
         try:
             # Clamp: a negative declared length would turn rfile.read() into
             # a read-to-EOF that blocks a worker until the idle timeout.
@@ -80,7 +103,7 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
                 f"request body of {length} bytes exceeds the "
                 f"{MAX_REQUEST_BODY_BYTES}-byte limit",
             )
-            return
+            return None
         body = self.rfile.read(length).decode("utf-8", errors="replace") if length else ""
         content_type = (self.headers.get("Content-Type") or "").split(";")[0].strip().lower()
         params = parse_qs(url.query)
@@ -89,9 +112,8 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             for key, values in form.items():
                 params.setdefault(key, values)
         elif body:
-            # SPARQL protocol "query via POST directly".
-            params.setdefault("query", [body])
-        self._handle_query(params)
+            params.setdefault(raw_body_key, [body])
+        return params
 
     # ------------------------------------------------------------------ #
     # query handling
@@ -123,6 +145,38 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(500, type(exc).__name__, str(exc))
             return
         self._send_result(response.result, params)
+
+    # ------------------------------------------------------------------ #
+    # update handling
+    # ------------------------------------------------------------------ #
+    def _handle_update(self, params: dict[str, list[str]]) -> None:
+        update = (params.get("update") or [None])[0]
+        if not update:
+            self._send_error_json(400, "MissingUpdate", "no 'update' parameter supplied")
+            return
+        service: EngineService = self.server.service
+        try:
+            response = service.update(update)
+        except ServiceReadOnly as exc:
+            self._send_error_json(403, "ServiceReadOnly", str(exc))
+            return
+        except ServiceOverloaded as exc:
+            self._send_error_json(503, "ServiceOverloaded", str(exc), retry_after=1)
+            return
+        except (SparqlSyntaxError, UnsupportedQueryError, UpdateError, ValueError) as exc:
+            self._send_error_json(400, type(exc).__name__, str(exc))
+            return
+        except Exception as exc:  # pragma: no cover - defensive: keep the pool alive
+            self._send_error_json(500, type(exc).__name__, str(exc))
+            return
+        self._send_json(
+            200,
+            {
+                **response.result.as_dict(),
+                "data_version": response.data_version,
+                "seconds": round(response.seconds, 6),
+            },
+        )
 
     def _send_result(self, result: ResultSet, params: dict[str, list[str]]) -> None:
         fmt = (params.get("format") or [None])[0]

@@ -1,0 +1,94 @@
+"""A reader-writer lock for the query service's read/write workloads.
+
+Many queries may evaluate concurrently (readers), but an update must run
+alone (writer) so that no in-flight query ever observes a half-applied
+mutation of the multigraph or its indexes.
+
+The implementation is writer-preferring: once a writer is waiting, new
+readers queue behind it.  Under the service's sustained query load a
+writer would otherwise starve indefinitely — with preference it only waits
+for the readers already in flight (each bounded by the query timeout).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """A writer-preferring reader-writer lock (not reentrant)."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------ #
+    # reader side
+    # ------------------------------------------------------------------ #
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then enter as a reader."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Context manager for the reader side."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------ #
+    # writer side
+    # ------------------------------------------------------------------ #
+    def acquire_write(self) -> None:
+        """Block until the lock is exclusively held by the caller."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Context manager for the writer side."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # ------------------------------------------------------------------ #
+    # introspection (for /stats and tests)
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, int | bool]:
+        """A point-in-time view of the lock state."""
+        with self._cond:
+            return {
+                "readers": self._readers,
+                "writer_active": self._writer_active,
+                "writers_waiting": self._writers_waiting,
+            }

@@ -20,20 +20,34 @@ from __future__ import annotations
 import math
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..amber.engine import AmberEngine
+from ..amber.mutation import UpdateResult, load_triples
 from ..errors import QueryTimeout, ReproError, UnsupportedQueryError
 from ..sparql.bindings import ResultSet
 from ..sparql.tokenizer import SparqlSyntaxError
+from ..sparql.update import InsertData, LoadData, UpdateRequest, parse_update
 from .cache import LRUCache
+from .rwlock import ReadWriteLock
 from .stats import LatencyRecorder
 
-__all__ = ["ServiceConfig", "ServiceOverloaded", "QueryResponse", "EngineService"]
+__all__ = [
+    "ServiceConfig",
+    "ServiceOverloaded",
+    "ServiceReadOnly",
+    "QueryResponse",
+    "UpdateResponse",
+    "EngineService",
+]
 
 
 class ServiceOverloaded(ReproError):
     """Raised when admission control rejects a query (too many in flight)."""
+
+
+class ServiceReadOnly(ReproError):
+    """Raised when an update reaches a service configured as read-only."""
 
 
 @dataclass(frozen=True)
@@ -55,6 +69,15 @@ class ServiceConfig:
     max_in_flight: int = 8
     #: Observations kept for the latency percentiles.
     latency_window: int = 2048
+    #: When True the service rejects every update with ServiceReadOnly.
+    read_only: bool = False
+    #: Directory LOAD sources resolve against (None = process working dir).
+    load_base_dir: str | None = None
+    #: Maximum updates waiting for / holding the write lock before new ones
+    #: are rejected with ServiceOverloaded.  Writes serialize anyway; the cap
+    #: keeps a burst of updates from pinning every HTTP worker on the lock
+    #: and starving queries of pool threads.
+    max_pending_updates: int = 4
 
 
 @dataclass(frozen=True)
@@ -64,6 +87,15 @@ class QueryResponse:
     result: ResultSet
     seconds: float
     from_result_cache: bool = False
+
+
+@dataclass(frozen=True)
+class UpdateResponse:
+    """One applied update: the mutation counts plus timing/versioning."""
+
+    result: UpdateResult
+    seconds: float
+    data_version: int
 
 
 @dataclass
@@ -94,6 +126,32 @@ class _Counters:
         }
 
 
+@dataclass
+class _UpdateCounters:
+    """Mutable write-path counters (guarded by the service lock)."""
+
+    received: int = 0
+    applied: int = 0
+    errors: int = 0
+    rejected: int = 0
+    rejected_read_only: int = 0
+    triples_inserted: int = 0
+    triples_deleted: int = 0
+    pending: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "received": self.received,
+            "applied": self.applied,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "rejected_read_only": self.rejected_read_only,
+            "triples_inserted": self.triples_inserted,
+            "triples_deleted": self.triples_deleted,
+            "pending": self.pending,
+        }
+
+
 class EngineService:
     """A thread-safe query service over one shared :class:`AmberEngine`."""
 
@@ -114,8 +172,13 @@ class EngineService:
             self.plan_cache = engine.plan_cache
         self.result_cache: LRUCache[tuple, ResultSet] = LRUCache(self.config.result_cache_size)
         self.latency = LatencyRecorder(self.config.latency_window)
+        self.update_latency = LatencyRecorder(self.config.latency_window)
         self._counters = _Counters()
+        self._update_counters = _UpdateCounters()
         self._lock = threading.Lock()
+        # Readers (queries, snapshots) share the engine; writers (updates)
+        # get it exclusively, so a query never sees a half-applied update.
+        self._rwlock = ReadWriteLock()
         self.started_at = time.time()
 
     # ------------------------------------------------------------------ #
@@ -144,9 +207,13 @@ class EngineService:
                 self._counters.invalid_parameters += 1
             raise
 
-        cache_key = (query, effective_rows)
+        # The cache key carries the engine's data_version, so entries are
+        # self-invalidating: a mutation — even one applied directly to the
+        # shared engine, bypassing this service's update() — changes the key
+        # and turns every pre-mutation entry into dead weight instead of a
+        # stale answer.
         if self.config.result_cache_size > 0:
-            cached = self.result_cache.get(cache_key)
+            cached = self.result_cache.get((query, effective_rows, self.engine.data_version))
             if cached is not None:
                 with self._lock:
                     self._counters.answered += 1
@@ -156,9 +223,17 @@ class EngineService:
         self._admit()
         start = time.perf_counter()
         try:
-            result = self.engine.query(
-                query, timeout_seconds=effective_timeout, max_solutions=effective_rows
-            )
+            # The result-cache put happens inside the read lock, where
+            # data_version cannot move: the entry is keyed by exactly the
+            # engine state it was computed against.
+            with self._rwlock.read_locked():
+                result = self.engine.query(
+                    query, timeout_seconds=effective_timeout, max_solutions=effective_rows
+                )
+                if self.config.result_cache_size > 0:
+                    self.result_cache.put(
+                        (query, effective_rows, self.engine.data_version), result
+                    )
         except QueryTimeout:
             with self._lock:
                 self._counters.timeouts += 1
@@ -177,9 +252,95 @@ class EngineService:
         self.latency.record(seconds)
         with self._lock:
             self._counters.answered += 1
-        if self.config.result_cache_size > 0:
-            self.result_cache.put(cache_key, result)
         return QueryResponse(result=result, seconds=seconds)
+
+    # ------------------------------------------------------------------ #
+    # update path
+    # ------------------------------------------------------------------ #
+    def update(self, update: str) -> UpdateResponse:
+        """Apply one SPARQL UPDATE request under the exclusive write lock.
+
+        The write lock waits for in-flight queries to drain (each bounded
+        by the service timeout) and blocks new ones, so readers observe
+        either the pre-update or the post-update engine — never a half-
+        applied state.  Parsing the update text and reading ``LOAD``
+        sources happen *before* the lock is taken — readers only stall for
+        the graph mutation itself, and a request whose LOAD fails is
+        rejected before any of its operations apply.  On success the
+        result cache is cleared (the plan cache is cleared by the engine
+        itself) and write counters/latency are recorded.
+
+        Raises :class:`ServiceReadOnly` when updates are disabled,
+        :class:`SparqlSyntaxError` on malformed update text and
+        :class:`repro.UpdateError` when an operation (e.g. ``LOAD``)
+        cannot be executed — the HTTP layer maps these to 403/400/400.
+        """
+        with self._lock:
+            self._update_counters.received += 1
+        if self.config.read_only:
+            with self._lock:
+                self._update_counters.rejected_read_only += 1
+            raise ServiceReadOnly("this service is read-only; updates are disabled")
+        # Admission control for writes: updates serialize on the write lock,
+        # so beyond a short queue each extra pending update just pins one
+        # HTTP worker on the lock; shed the excess with a fast 503 instead.
+        with self._lock:
+            if self._update_counters.pending >= self.config.max_pending_updates:
+                self._update_counters.rejected += 1
+                raise ServiceOverloaded(
+                    f"{self._update_counters.pending} updates pending "
+                    f"(limit {self.config.max_pending_updates}); retry later"
+                )
+            self._update_counters.pending += 1
+        start = time.perf_counter()
+        try:
+            request = self._prefetch_loads(parse_update(update))
+            with self._rwlock.write_locked():
+                result = self.engine.apply_update(request)
+                data_version = self.engine.data_version
+                if result.changed:
+                    self.result_cache.clear()
+        except Exception:
+            with self._lock:
+                self._update_counters.errors += 1
+            raise
+        finally:
+            with self._lock:
+                self._update_counters.pending -= 1
+        seconds = time.perf_counter() - start
+        self.update_latency.record(seconds)
+        with self._lock:
+            self._update_counters.applied += 1
+            self._update_counters.triples_inserted += result.inserted
+            self._update_counters.triples_deleted += result.deleted
+        return UpdateResponse(result=result, seconds=seconds, data_version=data_version)
+
+    def _prefetch_loads(self, request: UpdateRequest) -> UpdateRequest:
+        """Resolve every LOAD operation into an in-memory triple batch.
+
+        File I/O and RDF parsing are reader-safe, so they run outside the
+        write lock; the engine then only sees ground INSERT DATA batches.
+        """
+        if not any(isinstance(op, LoadData) for op in request.operations):
+            return request
+        operations = tuple(
+            InsertData(load_triples(op, self.config.load_base_dir))
+            if isinstance(op, LoadData)
+            else op
+            for op in request.operations
+        )
+        return UpdateRequest(operations=operations)
+
+    def snapshot(self, path) -> int:
+        """Persist a consistent snapshot of the (possibly mutated) engine.
+
+        Takes the read lock, so a snapshot never interleaves with a write;
+        concurrent queries keep running.  Returns the file size in bytes.
+        """
+        from ..storage import save_engine
+
+        with self._rwlock.read_locked():
+            return save_engine(self.engine, path)
 
     # ------------------------------------------------------------------ #
     # limits & admission
@@ -226,12 +387,28 @@ class EngineService:
         """A JSON-serializable snapshot for the ``/stats`` endpoint."""
         with self._lock:
             counters = self._counters.as_dict()
+            update_counters = self._update_counters.as_dict()
         report = self.engine.build_report
+        # Engine internals are read under the read lock: statistics()
+        # iterates the adjacency/attribute dicts a concurrent update may be
+        # resizing, which would raise mid-iteration.
+        with self._rwlock.read_locked():
+            engine_stats = self.engine.statistics()
+            data_version = self.engine.data_version
+            signature_stale = self.engine.indexes.signatures.stale_count
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
-            "engine": self.engine.statistics(),
+            "engine": engine_stats,
+            "data_version": data_version,
             "build_report": report.as_dict() if report is not None else None,
             "queries": counters,
+            "updates": {
+                **update_counters,
+                "read_only": self.config.read_only,
+                "latency": self.update_latency.snapshot(),
+                "signature_stale": signature_stale,
+                "lock": self._rwlock.snapshot(),
+            },
             "latency": self.latency.snapshot(),
             "plan_cache": (
                 self.plan_cache.stats().as_dict()

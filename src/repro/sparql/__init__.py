@@ -4,6 +4,15 @@ from .algebra import PatternTerm, SelectQuery, TriplePattern, Variable
 from .bindings import Binding, ResultSet
 from .parser import SparqlParser, SparqlSyntaxError, parse_sparql
 from .tokenizer import Token, tokenize
+from .update import (
+    DeleteData,
+    InsertData,
+    LoadData,
+    UpdateOperation,
+    UpdateParser,
+    UpdateRequest,
+    parse_update,
+)
 
 __all__ = [
     "Variable",
@@ -17,4 +26,11 @@ __all__ = [
     "parse_sparql",
     "Token",
     "tokenize",
+    "InsertData",
+    "DeleteData",
+    "LoadData",
+    "UpdateOperation",
+    "UpdateRequest",
+    "UpdateParser",
+    "parse_update",
 ]

@@ -86,7 +86,8 @@ class Binding(Mapping[Variable, Term]):
         return NotImplemented
 
     def __repr__(self) -> str:
-        items = ", ".join(f"{var}={term}" for var, term in sorted(self._data.items(), key=lambda kv: kv[0].name))
+        ordered = sorted(self._data.items(), key=lambda kv: kv[0].name)
+        items = ", ".join(f"{var}={term}" for var, term in ordered)
         return f"Binding({items})"
 
 

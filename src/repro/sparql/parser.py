@@ -44,7 +44,9 @@ class SparqlParser:
         token = self._next()
         if token.kind != kind or (text is not None and token.text != text):
             expected = text or kind
-            raise SparqlSyntaxError(f"expected {expected!r} but found {token.text!r} at offset {token.position}")
+            raise SparqlSyntaxError(
+                f"expected {expected!r} but found {token.text!r} at offset {token.position}"
+            )
         return token
 
     # ------------------------------------------------------------------ #
@@ -118,6 +120,11 @@ class SparqlParser:
     def _parse_triples_block(self) -> list[TriplePattern]:
         patterns: list[TriplePattern] = []
         subject = self._parse_term(position="subject")
+        if isinstance(subject, Literal):
+            # Report the RDF-model violation as a syntax error here; letting
+            # TriplePattern raise TypeError would surface as a 500 instead of
+            # a 400 at the protocol layer.
+            raise SparqlSyntaxError("triple subjects cannot be literals")
         while True:
             predicate = self._parse_term(position="predicate")
             if not isinstance(predicate, IRI):

@@ -1,0 +1,181 @@
+"""Parser and algebra for the SPARQL UPDATE fragment used by the engine.
+
+The engine's write path (see :mod:`repro.amber.mutation`) supports the
+ground-data subset of SPARQL 1.1 Update that a dynamic multigraph needs:
+
+* ``INSERT DATA { ... }`` — add ground triples,
+* ``DELETE DATA { ... }`` — remove ground triples,
+* ``LOAD [SILENT] <source>`` — bulk-append triples from a local RDF file
+  (``file://`` IRIs or plain paths ending in ``.nt``/``.ttl``/...).
+
+Several operations may be chained with ``;`` after a shared ``PREFIX``
+prologue, exactly as in the W3C grammar.  Quad forms (``GRAPH``), variables
+and template-based ``INSERT``/``DELETE ... WHERE`` are outside the fragment
+and rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..rdf.namespace import NamespaceManager
+from ..rdf.terms import Triple
+from .algebra import TriplePattern, Variable
+from .parser import SparqlParser
+from .tokenizer import SparqlSyntaxError, tokenize
+
+__all__ = [
+    "InsertData",
+    "DeleteData",
+    "LoadData",
+    "UpdateOperation",
+    "UpdateRequest",
+    "UpdateParser",
+    "parse_update",
+]
+
+
+@dataclass(frozen=True)
+class InsertData:
+    """``INSERT DATA { ... }``: ground triples to add."""
+
+    triples: tuple[Triple, ...]
+
+
+@dataclass(frozen=True)
+class DeleteData:
+    """``DELETE DATA { ... }``: ground triples to remove."""
+
+    triples: tuple[Triple, ...]
+
+
+@dataclass(frozen=True)
+class LoadData:
+    """``LOAD [SILENT] <source>``: bulk-append triples from a local file.
+
+    ``source`` is the raw IRI text (``file://`` prefix or plain path);
+    resolution and parsing happen at apply time so that parse errors carry
+    the executing engine's context.  ``silent`` follows the W3C semantics:
+    failures to read or parse the source are swallowed.
+    """
+
+    source: str
+    silent: bool = False
+
+
+UpdateOperation = Union[InsertData, DeleteData, LoadData]
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """A parsed update: one or more operations applied in order."""
+
+    operations: tuple[UpdateOperation, ...]
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+class UpdateParser(SparqlParser):
+    """Parser turning SPARQL UPDATE text into an :class:`UpdateRequest`.
+
+    Reuses the SELECT parser's prologue, term and triples-block grammar;
+    the data blocks additionally require every term to be ground.
+    """
+
+    def parse_update(self, text: str) -> UpdateRequest:
+        """Parse ``text`` and return the update request."""
+        self._tokens = list(tokenize(text))
+        self._pos = 0
+        self._parse_prologue()
+        operations: list[UpdateOperation] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            operations.append(self._parse_operation(token))
+            token = self._peek()
+            if token is not None and token.kind == "punct" and token.text == ";":
+                self._next()
+                continue
+            if token is not None:
+                raise SparqlSyntaxError(
+                    f"expected ';' or end of update but found {token.text!r} "
+                    f"at offset {token.position}"
+                )
+        if not operations:
+            raise SparqlSyntaxError("update request contains no operations")
+        return UpdateRequest(operations=tuple(operations))
+
+    def _parse_operation(self, token) -> UpdateOperation:
+        if token.kind != "keyword":
+            raise SparqlSyntaxError(
+                f"expected an update operation (INSERT DATA, DELETE DATA, LOAD) "
+                f"but found {token.text!r} at offset {token.position}"
+            )
+        if token.text in ("INSERT", "DELETE"):
+            self._next()
+            data = self._peek()
+            if data is None or data.kind != "keyword" or data.text != "DATA":
+                raise SparqlSyntaxError(
+                    f"only the ground {token.text} DATA form is supported "
+                    f"(template-based {token.text} ... WHERE is outside the fragment)"
+                )
+            self._next()
+            triples = self._parse_quad_data()
+            return InsertData(triples) if token.text == "INSERT" else DeleteData(triples)
+        if token.text == "LOAD":
+            self._next()
+            silent = False
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "keyword" and nxt.text == "SILENT":
+                silent = True
+                self._next()
+            iri = self._expect("iri")
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "keyword" and nxt.text == "INTO":
+                raise SparqlSyntaxError(
+                    "LOAD ... INTO GRAPH is not supported (single default graph)"
+                )
+            return LoadData(source=iri.text[1:-1], silent=silent)
+        if token.text == "SELECT":
+            raise SparqlSyntaxError(
+                "this is a query, not an update; send SELECT queries to the query endpoint"
+            )
+        raise SparqlSyntaxError(
+            f"unsupported update operation {token.text!r} at offset {token.position}"
+        )
+
+    def _parse_quad_data(self) -> tuple[Triple, ...]:
+        self._expect("punct", "{")
+        patterns: list[TriplePattern] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise SparqlSyntaxError("unterminated data block, missing '}'")
+            if token.kind == "punct" and token.text == "}":
+                self._next()
+                break
+            if token.kind == "keyword" and token.text == "GRAPH":
+                raise SparqlSyntaxError(
+                    f"GRAPH at offset {token.position} is not supported: the engine "
+                    f"manages a single default graph"
+                )
+            patterns.extend(self._parse_triples_block())
+        return tuple(self._ground(pattern) for pattern in patterns)
+
+    @staticmethod
+    def _ground(pattern: TriplePattern) -> Triple:
+        for term in (pattern.subject, pattern.object):
+            if isinstance(term, Variable):
+                raise SparqlSyntaxError(
+                    f"data blocks must be ground: {term} is a variable (use concrete "
+                    f"IRIs and literals in INSERT DATA / DELETE DATA)"
+                )
+        return Triple(pattern.subject, pattern.predicate, pattern.object)
+
+
+def parse_update(text: str, namespaces: NamespaceManager | None = None) -> UpdateRequest:
+    """Parse SPARQL UPDATE text into an :class:`UpdateRequest`."""
+    return UpdateParser(namespaces).parse_update(text)

@@ -80,11 +80,18 @@ def _term_from_json(data: dict):
 # --------------------------------------------------------------------------- #
 # data multigraph
 # --------------------------------------------------------------------------- #
-def save_data_multigraph(data: DataMultigraph, path: str | Path) -> int:
-    """Write the multigraph database to ``path``; return the file size in bytes."""
+def save_data_multigraph(data: DataMultigraph, path: str | Path, data_version: int = 0) -> int:
+    """Write the multigraph database to ``path``; return the file size in bytes.
+
+    ``data_version`` records how many mutation batches the engine had
+    applied when the snapshot was taken (0 for a pristine offline build);
+    it round-trips through :func:`load_engine` so operators can correlate
+    snapshots with the server's ``/stats`` output.
+    """
     graph, dictionaries = data.graph, data.dictionaries
     document = {
         "format_version": FORMAT_VERSION,
+        "data_version": data_version,
         "triple_count": data.triple_count,
         "vertices": [_term_to_json(entity) for entity in dictionaries.vertices],
         "edge_types": [predicate.value for predicate in dictionaries.edge_types],
@@ -107,8 +114,8 @@ def save_data_multigraph(data: DataMultigraph, path: str | Path) -> int:
     return path.stat().st_size
 
 
-def load_data_multigraph(path: str | Path) -> DataMultigraph:
-    """Read a multigraph database previously written by :func:`save_data_multigraph`."""
+def _read_document(path: str | Path) -> dict:
+    """Read and version-check a persisted multigraph document."""
     with open(path, "r", encoding="utf-8") as handle:
         try:
             document = json.load(handle)
@@ -117,7 +124,15 @@ def load_data_multigraph(path: str | Path) -> DataMultigraph:
     version = document.get("format_version")
     if version != FORMAT_VERSION:
         raise StorageError(f"unsupported format version {version!r} (expected {FORMAT_VERSION})")
+    return document
 
+
+def load_data_multigraph(path: str | Path) -> DataMultigraph:
+    """Read a multigraph database previously written by :func:`save_data_multigraph`."""
+    return _data_from_document(_read_document(path))
+
+
+def _data_from_document(document: dict) -> DataMultigraph:
     data = DataMultigraph()
     data.triple_count = int(document.get("triple_count", 0))
     for entity in document["vertices"]:
@@ -143,8 +158,15 @@ def load_data_multigraph(path: str | Path) -> DataMultigraph:
 # engine-level helpers
 # --------------------------------------------------------------------------- #
 def save_engine(engine: AmberEngine, path: str | Path) -> int:
-    """Persist the engine's multigraph database; return the file size in bytes."""
-    return save_data_multigraph(engine.data, path)
+    """Persist a snapshot of the engine's multigraph database.
+
+    Works for pristine *and* mutated engines: the document always reflects
+    the current graph and dictionaries, and carries the engine's
+    :attr:`~AmberEngine.data_version` so a reloaded engine continues the
+    version sequence where the snapshot left off.  Returns the file size
+    in bytes.
+    """
+    return save_data_multigraph(engine.data, path, data_version=engine.data_version)
 
 
 def load_engine(path: str | Path, config: MatcherConfig | None = None) -> AmberEngine:
@@ -152,7 +174,8 @@ def load_engine(path: str | Path, config: MatcherConfig | None = None) -> AmberE
     import time
 
     start = time.perf_counter()
-    data = load_data_multigraph(path)
+    document = _read_document(path)
+    data = _data_from_document(document)
     database_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -170,7 +193,9 @@ def load_engine(path: str | Path, config: MatcherConfig | None = None) -> AmberE
         attributes=stats["attributes"],
         index_items=indexes.report.total_items if indexes.report else 0,
     )
-    return AmberEngine(data, indexes, report, config)
+    engine = AmberEngine(data, indexes, report, config)
+    engine.data_version = int(document.get("data_version", 0))
+    return engine
 
 
 def load_engine_auto(path: str | Path, config: MatcherConfig | None = None) -> AmberEngine:

@@ -16,7 +16,8 @@ def rows_as_names(result, variable):
 class TestBasicQueries:
     def test_single_pattern(self, paper_engine, prefixes):
         result = paper_engine.query(prefixes + "SELECT ?p WHERE { ?p y:livedIn ?where . }")
-        assert rows_as_names(result, "p") == ["Amy_Winehouse", "Blake_Fielder-Civil", "Christopher_Nolan"]
+        names = ["Amy_Winehouse", "Blake_Fielder-Civil", "Christopher_Nolan"]
+        assert rows_as_names(result, "p") == names
 
     def test_constant_object(self, paper_engine, prefixes):
         result = paper_engine.query(prefixes + "SELECT ?p WHERE { ?p y:livedIn x:United_States . }")
@@ -70,9 +71,11 @@ class TestBasicQueries:
         assert len(result) == 0
 
     def test_empty_for_unknown_entities(self, paper_engine, prefixes):
-        assert len(paper_engine.query(prefixes + "SELECT ?p WHERE { ?p y:livedIn x:Atlantis . }")) == 0
+        unknown_iri = paper_engine.query(prefixes + "SELECT ?p WHERE { ?p y:livedIn x:Atlantis . }")
+        assert len(unknown_iri) == 0
         assert len(paper_engine.query(prefixes + "SELECT ?p WHERE { ?p y:flewTo ?q . }")) == 0
-        assert len(paper_engine.query(prefixes + 'SELECT ?p WHERE { ?p y:hasName "Unknown" . }')) == 0
+        unknown_lit = paper_engine.query(prefixes + 'SELECT ?p WHERE { ?p y:hasName "Unknown" . }')
+        assert len(unknown_lit) == 0
 
     def test_distinct_and_limit(self, paper_engine, prefixes):
         full = paper_engine.query(prefixes + "SELECT ?x WHERE { ?p y:livedIn ?x . }")

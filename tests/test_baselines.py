@@ -100,7 +100,8 @@ class TestEngineSpecifics:
 
     def test_nested_loop_respects_repeated_variable(self, paper_store, prefixes):
         engine = NestedLoopEngine(paper_store)
-        result = engine.query(prefixes + "SELECT ?p ?c WHERE { ?p y:wasBornIn ?c . ?p y:diedIn ?c . }")
+        query = prefixes + "SELECT ?p ?c WHERE { ?p y:wasBornIn ?c . ?p y:diedIn ?c . }"
+        result = engine.query(query)
         assert len(result) == 1
 
     def test_backtracking_cross_component(self, paper_store, prefixes):

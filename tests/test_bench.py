@@ -72,7 +72,8 @@ class TestReporting:
 
     def test_format_workload_summary(self, paper_store, prefixes):
         engines = build_engines(paper_store, include=["AMbER"])
-        results = run_workload(engines, [prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }"], 10.0)
+        queries = [prefixes + "SELECT ?p WHERE { ?p y:wasBornIn ?c . }"]
+        results = run_workload(engines, queries, 10.0)
         text = format_workload_summary(results, "title")
         assert "AMbER" in text
 
@@ -122,7 +123,9 @@ class TestExperiments:
             assert values["index_items"] > 0
 
     def test_table1(self):
-        results = table1_complex_queries(TINY, query_size=15, query_count=2, include=["AMbER", "HashJoin"])
+        results = table1_complex_queries(
+            TINY, query_size=15, query_count=2, include=["AMbER", "HashJoin"]
+        )
         assert set(results) == {"AMbER", "HashJoin"}
         for result in results.values():
             assert len(result.outcomes) == 2

@@ -92,7 +92,9 @@ class TestGeneratedWorkloads:
         ],
         ids=["lubm", "yago", "dbpedia"],
     )
-    @pytest.mark.parametrize("shape,size", [("star", 5), ("star", 10), ("complex", 5), ("complex", 10)])
+    @pytest.mark.parametrize(
+        "shape,size", [("star", 5), ("star", 10), ("complex", 5), ("complex", 10)]
+    )
     def test_workload_agreement(self, generator_cls, kwargs, shape, size):
         store = generator_cls(**kwargs).store()
         engines = [

@@ -2,7 +2,6 @@
 
 from repro.amber.decompose import decompose_query, order_core_vertices
 from repro.multigraph.query_graph import build_query_multigraph
-from repro.sparql.algebra import Variable
 from repro.sparql.parser import parse_sparql
 
 PAPER_QUERY = """
@@ -42,7 +41,10 @@ class TestDecomposition:
     def test_satellites_attached_to_their_core(self, paper_data, prefixes):
         qgraph = qgraph_for(PAPER_QUERY, paper_data, prefixes)
         decomposition = decompose_query(qgraph)
-        by_name = {qgraph.variable_of(c).name: names(qgraph, decomposition.satellites_of[c]) for c in decomposition.core}
+        by_name = {
+            qgraph.variable_of(c).name: names(qgraph, decomposition.satellites_of[c])
+            for c in decomposition.core
+        }
         assert by_name["X1"] == {"X0", "X2", "X4"}
         assert by_name["X3"] == {"X6"}
         assert by_name["X5"] == set()
@@ -62,7 +64,9 @@ class TestDecomposition:
     def test_most_constrained_vertex_promoted(self, paper_data, prefixes):
         # ?a has an attribute, ?b does not: ?a should be the core vertex.
         qgraph = qgraph_for(
-            'SELECT * WHERE { ?a y:wasPartOf ?b . ?a y:hasCapacityOf "90000" . }', paper_data, prefixes
+            'SELECT * WHERE { ?a y:wasPartOf ?b . ?a y:hasCapacityOf "90000" . }',
+            paper_data,
+            prefixes,
         )
         decomposition = decompose_query(qgraph)
         assert names(qgraph, decomposition.core) == {"a"}

@@ -6,7 +6,6 @@ from repro.index.attribute_index import AttributeIndex
 from repro.index.manager import IndexSet
 from repro.index.neighborhood import NeighborhoodIndex, Otil
 from repro.index.signature_index import SignatureIndex
-from repro.multigraph.graph import Multigraph
 from repro.multigraph.query_graph import INCOMING, OUTGOING
 from repro.rdf.terms import IRI
 
@@ -120,7 +119,8 @@ class TestNeighborhoodIndex:
         index = NeighborhoodIndex(paper_data.graph)
         london = vid(paper_data, "London")
         has_stadium = eid(paper_data, "hasStadium")
-        assert index.neighbors(london, OUTGOING, {has_stadium}) == {vid(paper_data, "WembleyStadium")}
+        wembley = vid(paper_data, "WembleyStadium")
+        assert index.neighbors(london, OUTGOING, {has_stadium}) == {wembley}
 
     def test_unknown_edge_type_gives_empty(self, paper_data):
         index = NeighborhoodIndex(paper_data.graph)

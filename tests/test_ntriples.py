@@ -89,7 +89,9 @@ class TestSerialization:
         assert list(parse_ntriples(doc)) == triples
 
     def test_file_round_trip(self, tmp_path):
-        triples = [Triple(IRI(f"http://e/s{i}"), IRI("http://e/p"), Literal(str(i))) for i in range(5)]
+        triples = [
+            Triple(IRI(f"http://e/s{i}"), IRI("http://e/p"), Literal(str(i))) for i in range(5)
+        ]
         path = tmp_path / "data.nt"
         written = write_ntriples_file(triples, path)
         assert written == 5

@@ -12,7 +12,6 @@ from repro.baselines import NestedLoopEngine
 from repro.index.rtree import RTree
 from repro.index.synopsis import data_synopsis, dominates, query_synopsis, signature_of
 from repro.multigraph.builder import build_data_multigraph
-from repro.multigraph.graph import Multigraph
 from repro.rdf.dataset import TripleStore
 from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
 from repro.rdf.terms import IRI, Literal, Triple
@@ -24,7 +23,9 @@ from repro.sparql.bindings import Binding
 # --------------------------------------------------------------------------- #
 _entity_names = st.sampled_from([f"e{i}" for i in range(8)])
 _predicate_names = st.sampled_from([f"p{i}" for i in range(4)])
-_literal_values = st.text(alphabet=string.ascii_letters + string.digits + " ", min_size=0, max_size=8)
+_literal_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " ", min_size=0, max_size=8
+)
 
 
 def _iri(name: str) -> IRI:
@@ -74,7 +75,8 @@ class TestTripleStoreInvariants:
         store = TripleStore(triples)
         unique = set(triples)
         subject, pred = _iri(entity), _iri(predicate)
-        assert set(store.triples(subject, None, None)) == {t for t in unique if t.subject == subject}
+        by_subject = {t for t in unique if t.subject == subject}
+        assert set(store.triples(subject, None, None)) == by_subject
         assert set(store.triples(None, pred, None)) == {t for t in unique if t.predicate == pred}
         assert set(store.triples(subject, pred, None)) == {
             t for t in unique if t.subject == subject and t.predicate == pred
@@ -100,15 +102,17 @@ class TestMultigraphInvariants:
     def test_counts_partition_between_edges_and_attributes(self, triples):
         unique = set(triples)
         data = build_data_multigraph(unique)
-        resource = {t for t in unique if not isinstance(t.object, Literal) and t.subject != t.object}
-        reflexive = {t for t in unique if not isinstance(t.object, Literal) and t.subject == t.object}
+        resources = [t for t in unique if not isinstance(t.object, Literal)]
+        resource = {t for t in resources if t.subject != t.object}
+        reflexive = {t for t in resources if t.subject == t.object}
         literal = {t for t in unique if isinstance(t.object, Literal)}
         assert data.graph.multi_edge_count() == len(resource)
         # Every literal triple and reflexive triple becomes a vertex attribute.
         total_attribute_incidences = sum(
             len(data.graph.attributes(v)) for v in data.graph.vertices()
         )
-        assert total_attribute_incidences == len({(t.subject, t.predicate, t.object) for t in literal | reflexive})
+        expected = {(t.subject, t.predicate, t.object) for t in literal | reflexive}
+        assert total_attribute_incidences == len(expected)
 
     @given(_triples)
     @settings(max_examples=60, deadline=None)

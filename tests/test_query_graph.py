@@ -15,7 +15,8 @@ def build(query_text, paper_data, prefixes):
 
 class TestStructure:
     def test_variables_become_vertices(self, paper_data, prefixes):
-        qgraph = build("SELECT * WHERE { ?a y:isPartOf ?b . ?b y:hasCapital ?a . }", paper_data, prefixes)
+        query = "SELECT * WHERE { ?a y:isPartOf ?b . ?b y:hasCapital ?a . }"
+        qgraph = build(query, paper_data, prefixes)
         assert len(qgraph) == 2
         a = qgraph.vertex_id(Variable("a"))
         b = qgraph.vertex_id(Variable("b"))
@@ -100,15 +101,19 @@ class TestSatisfiability:
         assert qgraph.unsatisfiable
 
     def test_ground_literal_pattern(self, paper_data, prefixes):
-        satisfied = build('SELECT * WHERE { x:WembleyStadium y:hasCapacityOf "90000" . }', paper_data, prefixes)
+        query = 'SELECT * WHERE { x:WembleyStadium y:hasCapacityOf "90000" . }'
+        satisfied = build(query, paper_data, prefixes)
         assert not satisfied.unsatisfiable
-        unsatisfied = build('SELECT * WHERE { x:London y:hasCapacityOf "90000" . }', paper_data, prefixes)
+        unsatisfied = build(
+            'SELECT * WHERE { x:London y:hasCapacityOf "90000" . }', paper_data, prefixes
+        )
         assert unsatisfied.unsatisfiable
 
 
 class TestComponents:
     def test_single_component(self, paper_data, prefixes):
-        qgraph = build("SELECT * WHERE { ?a y:isPartOf ?b . ?b y:hasCapital ?a . }", paper_data, prefixes)
+        query = "SELECT * WHERE { ?a y:isPartOf ?b . ?b y:hasCapital ?a . }"
+        qgraph = build(query, paper_data, prefixes)
         assert len(qgraph.connected_components()) == 1
 
     def test_two_components(self, paper_data, prefixes):

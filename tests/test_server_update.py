@@ -1,0 +1,286 @@
+"""End-to-end tests for POST /update: protocol, locking and stats."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro import AmberEngine
+from repro.server import EngineService, ServiceConfig, serve
+
+E = "http://example.org/"
+SEED_TURTLE = f"@prefix x: <{E}> . x:a x:p x:b . x:b x:p x:c ."
+
+
+@pytest.fixture()
+def server():
+    engine = AmberEngine.from_turtle(SEED_TURTLE)
+    service = EngineService(engine, ServiceConfig(plan_cache_size=32, result_cache_size=32))
+    server = serve(service, host="127.0.0.1", port=0, workers=8, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def post_update(server, update: str, raw: bool = False) -> dict:
+    if raw:
+        request = urllib.request.Request(
+            server.url + "/update",
+            data=update.encode(),
+            headers={"Content-Type": "application/sparql-update"},
+        )
+    else:
+        request = urllib.request.Request(
+            server.url + "/update",
+            data=urllib.parse.urlencode({"update": update}).encode(),
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+        )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def get_rows(server, query: str) -> list[dict]:
+    url = server.url + "/sparql?" + urllib.parse.urlencode({"query": query})
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())["results"]["bindings"]
+
+
+class TestUpdateEndpoint:
+    def test_insert_is_visible_and_invalidates_result_cache(self, server):
+        query = f"SELECT ?s WHERE {{ ?s <{E}p> ?o . }}"
+        assert len(get_rows(server, query)) == 2
+        # Prime the result cache, then mutate.
+        assert len(get_rows(server, query)) == 2
+        document = post_update(server, f"INSERT DATA {{ <{E}c> <{E}p> <{E}d> }}")
+        assert document["inserted"] == 1
+        assert document["data_version"] == 1
+        assert len(get_rows(server, query)) == 3
+
+    def test_delete_via_raw_body(self, server):
+        document = post_update(server, f"DELETE DATA {{ <{E}a> <{E}p> <{E}b> }}", raw=True)
+        assert document["deleted"] == 1
+        assert len(get_rows(server, f"SELECT ?s WHERE {{ ?s <{E}p> ?o . }}")) == 1
+
+    def test_parse_error_maps_to_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/update",
+            data=urllib.parse.urlencode({"update": "INSERT DATA { ?x ?y ?z }"}).encode(),
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_missing_update_parameter(self, server):
+        request = urllib.request.Request(server.url + "/update", data=b"")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"] == "MissingUpdate"
+
+    def test_get_not_allowed(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/update", timeout=10)
+        assert excinfo.value.code == 405
+
+    def test_load_from_file(self, server, tmp_path):
+        extra = tmp_path / "extra.nt"
+        extra.write_text(f"<{E}x1> <{E}q> <{E}x2> .\n", encoding="utf-8")
+        document = post_update(server, f"LOAD <file://{extra}>")
+        assert document["inserted"] == 1
+        assert len(get_rows(server, f"SELECT ?s WHERE {{ ?s <{E}q> ?o . }}")) == 1
+
+    def test_failing_load_rejects_whole_request_before_applying(self, server, tmp_path):
+        # LOAD sources are prefetched before the write lock, so an update
+        # whose LOAD fails applies none of its operations.
+        request = urllib.request.Request(
+            server.url + "/update",
+            data=urllib.parse.urlencode(
+                {
+                    "update": f"INSERT DATA {{ <{E}pre> <{E}p> <{E}v> }} ; "
+                    f"LOAD <file://{tmp_path}/absent.nt>"
+                }
+            ).encode(),
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        rows = get_rows(server, f"SELECT ?o WHERE {{ <{E}pre> <{E}p> ?o . }}")
+        assert rows == []
+
+    def test_literal_subject_maps_to_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/update",
+            data=urllib.parse.urlencode(
+                {"update": f'INSERT DATA {{ "x" <{E}p> <{E}o> }}'}
+            ).encode(),
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_stats_expose_write_counters(self, server):
+        post_update(server, f"INSERT DATA {{ <{E}m> <{E}p> <{E}n> }}")
+        with urllib.request.urlopen(server.url + "/stats", timeout=10) as response:
+            stats = json.loads(response.read())
+        assert stats["updates"]["applied"] == 1
+        assert stats["updates"]["triples_inserted"] == 1
+        assert stats["data_version"] == 1
+        assert stats["updates"]["lock"]["writer_active"] is False
+
+
+class TestServiceLevel:
+    def test_update_admission_control_rejects_with_503(self):
+        from repro.server import ServiceOverloaded
+
+        engine = AmberEngine.from_turtle(SEED_TURTLE)
+        service = EngineService(engine, ServiceConfig(max_pending_updates=0))
+        with pytest.raises(ServiceOverloaded):
+            service.update(f"INSERT DATA {{ <{E}a> <{E}p> <{E}z> }}")
+        assert service.stats()["updates"]["rejected"] == 1
+
+    def test_result_cache_self_invalidates_on_direct_engine_mutation(self):
+        from repro import IRI, Triple
+
+        engine = AmberEngine.from_turtle(SEED_TURTLE)
+        service = EngineService(engine, ServiceConfig(result_cache_size=32))
+        query = f"SELECT ?s WHERE {{ ?s <{E}p> ?o . }}"
+        assert len(service.execute(query).result) == 2
+        assert service.execute(query).from_result_cache
+        # Mutate the shared engine directly, bypassing service.update():
+        # the version-carrying cache key must make the stale entry unreachable.
+        engine.insert_triples([Triple(IRI(E + "x"), IRI(E + "p"), IRI(E + "y"))])
+        response = service.execute(query)
+        assert not response.from_result_cache
+        assert len(response.result) == 3
+
+    def test_stats_runs_safely_during_concurrent_updates(self):
+        from repro import IRI, Triple
+
+        engine = AmberEngine.from_turtle(SEED_TURTLE)
+        service = EngineService(engine)
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def poll_stats() -> None:
+            while not stop.is_set():
+                try:
+                    service.stats()
+                except Exception as exc:  # pragma: no cover - the failure mode
+                    errors.append(exc)
+                    return
+
+        poller = threading.Thread(target=poll_stats)
+        poller.start()
+        try:
+            for i in range(300):
+                service.update(f"INSERT DATA {{ <{E}v{i}> <{E}p> <{E}w{i}> }}")
+        finally:
+            stop.set()
+            poller.join(timeout=10)
+        assert not errors, errors
+        assert service.stats()["engine"]["vertices"] >= 600
+
+
+class TestReadOnly:
+    def test_read_only_service_rejects_updates_with_403(self):
+        engine = AmberEngine.from_turtle(SEED_TURTLE)
+        service = EngineService(engine, ServiceConfig(read_only=True))
+        server = serve(service, host="127.0.0.1", port=0, workers=2, quiet=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post_update(server, f"INSERT DATA {{ <{E}a> <{E}p> <{E}z> }}")
+            assert excinfo.value.code == 403
+            assert service.stats()["updates"]["rejected_read_only"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestConcurrentReadWrite:
+    def test_readers_never_observe_half_applied_updates(self, server):
+        """Each update inserts a triple PAIR; readers must see both or neither."""
+        pair_count = 25
+        query = f"SELECT ?s ?o WHERE {{ ?s <{E}pair> ?o . }}"
+        torn: list[dict[str, set[str]]] = []
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    rows = get_rows(server, query)
+                except Exception as exc:  # pragma: no cover - fails the test below
+                    errors.append(exc)
+                    return
+                seen: dict[str, set[str]] = {}
+                for row in rows:
+                    seen.setdefault(row["s"]["value"], set()).add(row["o"]["value"])
+                for subject, objects in seen.items():
+                    if objects != {E + "left", E + "right"}:
+                        torn.append({subject: objects})
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for i in range(pair_count):
+                document = post_update(
+                    server,
+                    f"INSERT DATA {{ <{E}g{i}> <{E}pair> <{E}left> . "
+                    f"<{E}g{i}> <{E}pair> <{E}right> }}",
+                )
+                assert document["inserted"] == 2
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+
+        assert not errors, errors
+        assert not torn, f"readers observed half-applied updates: {torn[:3]}"
+        assert len(get_rows(server, query)) == 2 * pair_count
+
+    def test_interleaved_insert_delete_with_queries(self, server):
+        """A writer thread mutates while readers query; final state is exact."""
+        iterations = 15
+        query = f"SELECT ?s WHERE {{ ?s <{E}flux> ?o . }}"
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    get_rows(server, query)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for i in range(iterations):
+                post_update(server, f"INSERT DATA {{ <{E}f{i}> <{E}flux> <{E}v> }}")
+                if i % 2:
+                    post_update(server, f"DELETE DATA {{ <{E}f{i}> <{E}flux> <{E}v> }}")
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+
+        assert not errors, errors
+        remaining = get_rows(server, query)
+        assert len(remaining) == (iterations + 1) // 2

@@ -1,6 +1,5 @@
 """Unit tests for solution bindings and result sets."""
 
-import pytest
 
 from repro.rdf.terms import IRI, Literal
 from repro.sparql.algebra import SelectQuery, TriplePattern, Variable

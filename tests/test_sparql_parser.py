@@ -12,7 +12,8 @@ class TestBasicQueries:
     def test_single_pattern(self):
         query = parse_sparql("SELECT ?s WHERE { ?s <http://e/p> <http://e/o> . }")
         assert query.projection == [Variable("s")]
-        assert query.patterns == [TriplePattern(Variable("s"), IRI("http://e/p"), IRI("http://e/o"))]
+        expected = TriplePattern(Variable("s"), IRI("http://e/p"), IRI("http://e/o"))
+        assert query.patterns == [expected]
 
     def test_prefixed_names(self):
         query = parse_sparql(
@@ -148,7 +149,8 @@ class TestAlgebra:
         assert reparsed.limit == query.limit
 
     def test_select_query_len(self):
-        query = SelectQuery(patterns=[TriplePattern(Variable("s"), IRI("http://e/p"), Variable("o"))])
+        pattern = TriplePattern(Variable("s"), IRI("http://e/p"), Variable("o"))
+        query = SelectQuery(patterns=[pattern])
         assert len(query) == 1
 
 

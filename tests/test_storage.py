@@ -57,7 +57,8 @@ class TestEngineRoundTrip:
             "SELECT ?p WHERE { ?p y:livedIn x:United_States . }",
         ]
         for query in queries:
-            assert reloaded.query(prefixes + query).same_solutions(paper_engine.query(prefixes + query))
+            expected = paper_engine.query(prefixes + query)
+            assert reloaded.query(prefixes + query).same_solutions(expected)
 
     def test_reloaded_engine_has_build_report(self, paper_engine, tmp_path):
         path = tmp_path / "engine.amber.json"
@@ -66,6 +67,52 @@ class TestEngineRoundTrip:
         assert reloaded.build_report is not None
         assert reloaded.build_report.triples == 16
         assert reloaded.build_report.vertices == 9
+
+
+class TestMutatedEngineSnapshot:
+    def test_mutated_engine_round_trips(self, paper_turtle, prefixes, tmp_path):
+        engine = AmberEngine.from_turtle(paper_turtle)
+        engine.apply_update(
+            prefixes
+            + "INSERT DATA { x:David_Bowie y:wasBornIn x:London } ; "
+            + "DELETE DATA { x:Amy_Winehouse y:livedIn x:United_States }"
+        )
+        path = tmp_path / "mutated.amber.json"
+        save_engine(engine, path)
+        reloaded = load_engine(path)
+        assert reloaded.data_version == engine.data_version == 1
+        queries = [
+            "SELECT ?p WHERE { ?p y:wasBornIn x:London . }",
+            "SELECT ?p WHERE { ?p y:livedIn x:United_States . }",
+            "SELECT ?p ?c WHERE { ?p y:wasBornIn ?c . ?p y:diedIn ?c . }",
+        ]
+        for query in queries:
+            expected = engine.query(prefixes + query)
+            assert reloaded.query(prefixes + query).same_solutions(expected)
+        assert reloaded.statistics() == engine.statistics()
+
+    def test_reloaded_snapshot_stays_mutable(self, paper_turtle, prefixes, tmp_path):
+        engine = AmberEngine.from_turtle(paper_turtle)
+        engine.apply_update(prefixes + "INSERT DATA { x:A y:p x:B }")
+        path = tmp_path / "snap.amber.json"
+        save_engine(engine, path)
+        reloaded = load_engine(path)
+        reloaded.apply_update(prefixes + "INSERT DATA { x:B y:p x:C }")
+        assert reloaded.data_version == 2
+        assert len(reloaded.query(prefixes + "SELECT ?x WHERE { ?x y:p ?y . }")) == 2
+
+    def test_service_snapshot_under_read_lock(self, paper_turtle, prefixes, tmp_path):
+        from repro.server import EngineService
+
+        engine = AmberEngine.from_turtle(paper_turtle)
+        service = EngineService(engine)
+        service.update(prefixes + "INSERT DATA { x:A y:p x:B }")
+        path = tmp_path / "service.amber.json"
+        assert service.snapshot(path) > 0
+        reloaded = load_engine(path)
+        assert reloaded.data_version == 1
+        rows = reloaded.query(prefixes + "SELECT ?x WHERE { ?x y:p ?y . }")
+        assert len(rows) == 1
 
 
 class TestErrors:

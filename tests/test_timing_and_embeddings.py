@@ -87,7 +87,10 @@ class TestEmbeddingTranslation:
         }
 
     def test_combine_component_bindings_cross_product(self):
-        left = [Binding({Variable("a"): IRI("http://e/1")}), Binding({Variable("a"): IRI("http://e/2")})]
+        left = [
+            Binding({Variable("a"): IRI("http://e/1")}),
+            Binding({Variable("a"): IRI("http://e/2")}),
+        ]
         right = [Binding({Variable("b"): IRI("http://e/3")})]
         combined = list(combine_component_bindings([left, right]))
         assert len(combined) == 2

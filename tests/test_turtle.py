@@ -14,7 +14,11 @@ class TestBasics:
         ex:a ex:knows ex:b .
         """
         (triple,) = parse_turtle(doc)
-        assert triple == Triple(IRI("http://example.org/a"), IRI("http://example.org/knows"), IRI("http://example.org/b"))
+        assert triple == Triple(
+            IRI("http://example.org/a"),
+            IRI("http://example.org/knows"),
+            IRI("http://example.org/b"),
+        )
 
     def test_sparql_style_prefix(self):
         doc = """

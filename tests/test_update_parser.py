@@ -1,0 +1,141 @@
+"""Unit tests for the SPARQL UPDATE parser (sparql/update.py)."""
+
+import pytest
+
+from repro import IRI, Literal, Triple
+from repro.sparql import SparqlSyntaxError
+from repro.sparql.update import DeleteData, InsertData, LoadData, parse_update
+
+E = "http://example.org/"
+PREFIX = f"PREFIX ex: <{E}> "
+
+
+class TestInsertDeleteData:
+    def test_insert_data_ground_triples(self):
+        request = parse_update(
+            PREFIX + 'INSERT DATA { ex:a ex:p ex:b . ex:a ex:name "Ada" }'
+        )
+        (operation,) = request.operations
+        assert isinstance(operation, InsertData)
+        assert operation.triples == (
+            Triple(IRI(E + "a"), IRI(E + "p"), IRI(E + "b")),
+            Triple(IRI(E + "a"), IRI(E + "name"), Literal("Ada")),
+        )
+
+    def test_delete_data(self):
+        request = parse_update(PREFIX + "DELETE DATA { ex:a ex:p ex:b . }")
+        (operation,) = request.operations
+        assert isinstance(operation, DeleteData)
+        assert operation.triples == (Triple(IRI(E + "a"), IRI(E + "p"), IRI(E + "b")),)
+
+    def test_predicate_and_object_lists(self):
+        request = parse_update(PREFIX + 'INSERT DATA { ex:a ex:p ex:b , ex:c ; ex:q "v" }')
+        (operation,) = request.operations
+        assert len(operation.triples) == 3
+
+    def test_a_shorthand(self):
+        request = parse_update(PREFIX + "INSERT DATA { ex:a a ex:Type }")
+        (operation,) = request.operations
+        assert operation.triples[0].predicate.value.endswith("#type")
+
+    def test_operation_sequence_with_semicolons(self):
+        request = parse_update(
+            PREFIX + "INSERT DATA { ex:a ex:p ex:b } ; DELETE DATA { ex:a ex:p ex:b } ;"
+        )
+        kinds = [type(op) for op in request.operations]
+        assert kinds == [InsertData, DeleteData]
+
+    def test_case_insensitive_keywords(self):
+        request = parse_update(PREFIX + "insert data { ex:a ex:p ex:b }")
+        assert isinstance(request.operations[0], InsertData)
+
+
+class TestLoad:
+    def test_load_plain(self):
+        request = parse_update("LOAD <file:///data/extra.nt>")
+        (operation,) = request.operations
+        assert operation == LoadData(source="file:///data/extra.nt", silent=False)
+
+    def test_load_silent(self):
+        request = parse_update("LOAD SILENT <extra.nt>")
+        (operation,) = request.operations
+        assert operation.silent
+
+    def test_load_into_graph_rejected(self):
+        with pytest.raises(SparqlSyntaxError, match="INTO GRAPH"):
+            parse_update("LOAD <extra.nt> INTO GRAPH <http://e/g>")
+
+
+class TestRejections:
+    def test_variables_rejected(self):
+        with pytest.raises(SparqlSyntaxError, match="ground"):
+            parse_update("INSERT DATA { ?x <http://e/p> <http://e/o> }")
+
+    def test_template_insert_rejected(self):
+        with pytest.raises(SparqlSyntaxError, match="INSERT DATA"):
+            parse_update("INSERT { <http://e/s> <http://e/p> <http://e/o> } WHERE { }")
+
+    def test_select_rejected_with_pointer_to_query_endpoint(self):
+        with pytest.raises(SparqlSyntaxError, match="query endpoint"):
+            parse_update("SELECT ?s WHERE { ?s <http://e/p> ?o . }")
+
+    def test_graph_blocks_rejected(self):
+        update = "INSERT DATA { GRAPH <http://e/g> { <http://e/s> <http://e/p> <http://e/o> } }"
+        with pytest.raises(SparqlSyntaxError, match="GRAPH"):
+            parse_update(update)
+
+    def test_empty_update_rejected(self):
+        with pytest.raises(SparqlSyntaxError, match="no operations"):
+            parse_update(PREFIX)
+
+    def test_unterminated_block(self):
+        with pytest.raises(SparqlSyntaxError, match="missing '}'"):
+            parse_update("INSERT DATA { <http://e/s> <http://e/p> <http://e/o> ")
+
+    def test_literal_subject_is_a_syntax_error_not_a_type_error(self):
+        # Must surface as SparqlSyntaxError so the protocol layer maps it
+        # to 400, never as a bare TypeError (-> 500).
+        with pytest.raises(SparqlSyntaxError, match="literal"):
+            parse_update('INSERT DATA { "x" <http://e/p> <http://e/o> }')
+        with pytest.raises(SparqlSyntaxError, match="literal"):
+            parse_update("DELETE DATA { 5 <http://e/p> <http://e/o> }")
+
+    def test_literal_subject_in_select_is_a_syntax_error_too(self):
+        from repro.sparql.parser import parse_sparql
+
+        with pytest.raises(SparqlSyntaxError, match="literal"):
+            parse_sparql('SELECT ?o WHERE { "x" <http://e/p> ?o . }')
+
+
+class TestTokenizerInteraction:
+    def test_update_keywords_do_not_shadow_prefixed_names(self):
+        # 'data:' / 'load:' / 'insert:' are legal prefixes and must keep
+        # tokenizing as pnames, not keywords (the (?!:) lookahead).
+        request = parse_update(
+            "PREFIX data: <http://example.org/> INSERT DATA { data:a data:p data:b }"
+        )
+        (operation,) = request.operations
+        assert operation.triples[0].subject == IRI(E + "a")
+
+    def test_select_queries_unaffected_by_new_keywords(self):
+        from repro.sparql.parser import parse_sparql
+
+        query = parse_sparql(
+            "PREFIX load: <http://example.org/> SELECT ?insert WHERE { ?insert load:p ?o . }"
+        )
+        assert [v.name for v in query.projection] == ["insert"]
+
+    def test_hyphenated_prefixes_starting_with_keywords_still_work(self):
+        # 'insert-log' starts with the INSERT keyword; the (?![:-]) guard
+        # must keep the whole pname intact.
+        from repro.sparql.parser import parse_sparql
+
+        query = parse_sparql(
+            "PREFIX insert-log: <http://example.org/> "
+            "SELECT ?s WHERE { insert-log:a <http://example.org/p> ?s . }"
+        )
+        assert query.patterns[0].subject == IRI(E + "a")
+        request = parse_update(
+            "PREFIX data-v2: <http://example.org/> INSERT DATA { data-v2:a data-v2:p data-v2:b }"
+        )
+        assert request.operations[0].triples[0].predicate == IRI(E + "p")
