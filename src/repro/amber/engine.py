@@ -34,7 +34,14 @@ from .embeddings import combine_component_bindings, component_bindings
 from .matching import MatcherConfig, MultigraphMatcher, QueryTimeout
 from .mutation import GraphMutator, UpdateResult
 
-__all__ = ["AmberEngine", "BuildReport", "PlanCache", "QueryPlan", "QueryTimeout"]
+__all__ = [
+    "AmberEngine",
+    "BuildReport",
+    "PlanCache",
+    "QueryEngineBase",
+    "QueryPlan",
+    "QueryTimeout",
+]
 
 #: A prepared plan: the parsed query plus its query multigraph.  Both parts
 #: are immutable after construction, so a plan can be shared across threads.
@@ -82,7 +89,214 @@ class BuildReport:
         }
 
 
-class AmberEngine:
+class QueryEngineBase:
+    """Shared online stage of every multigraph query engine.
+
+    Subclasses provide ``self.data`` (anything exposing the dictionary
+    lookups :func:`build_query_multigraph` and the binding translation
+    need), ``self.config`` (a :class:`MatcherConfig`), ``self.plan_cache``
+    and ``self.data_version``, plus the :meth:`_component_rows` hook that
+    streams the bindings of one connected query component.  Everything
+    else — plan preparation/caching, solution streaming, DISTINCT/LIMIT/
+    OFFSET-aware counting, cross-products of disconnected components and
+    cache invalidation on mutation — lives here, so the single-process
+    :class:`AmberEngine` and the scatter–gather
+    :class:`repro.cluster.ShardedEngine` answer queries through exactly
+    the same code path.
+    """
+
+    name = "engine"
+
+    data: object
+    config: MatcherConfig
+    plan_cache: PlanCache | None
+    data_version: int
+
+    # ------------------------------------------------------------------ #
+    # online stage
+    # ------------------------------------------------------------------ #
+    def prepare(
+        self, query: str | SelectQuery, use_cache: bool = True
+    ) -> tuple[SelectQuery, QueryMultigraph]:
+        """Parse (if needed) and transform a query into its query multigraph.
+
+        When a :attr:`plan_cache` is installed and ``query`` is a string, the
+        prepared plan is memoised keyed by the exact query text.  Plans are
+        read-only during matching, so cached plans may be shared by threads.
+        """
+        if isinstance(query, str):
+            cache = self.plan_cache if use_cache else None
+            if cache is not None:
+                plan = cache.get(query)
+                if plan is not None:
+                    return plan
+            parsed = parse_sparql(query)
+            plan = (parsed, build_query_multigraph(parsed, self.data))
+            if cache is not None:
+                cache.put(query, plan)
+            return plan
+        return query, build_query_multigraph(query, self.data)
+
+    def query(
+        self,
+        query: str | SelectQuery,
+        timeout_seconds: float | None = None,
+        max_solutions: int | None = None,
+    ) -> ResultSet:
+        """Answer a SPARQL SELECT query and return its result set.
+
+        ``timeout_seconds`` overrides the engine-level matcher timeout;
+        :class:`QueryTimeout` is raised when it is exceeded.
+        """
+        parsed, qgraph = self.prepare(query)
+        rows = self._iter_solutions(parsed, qgraph, timeout_seconds, max_solutions)
+        return ResultSet.for_query(parsed, rows)
+
+    def count(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> int:
+        """Return the number of solution rows of ``query``.
+
+        Solutions are streamed and counted without materialising the full
+        :class:`ResultSet`; DISTINCT, LIMIT and OFFSET semantics match
+        ``query()`` — including the engine-level ``max_solutions`` cap, which
+        bounds the solution stream before the modifiers apply.
+        """
+        parsed, qgraph = self.prepare(query)
+        limit, offset = parsed.limit, parsed.offset or 0
+        # Rows of the (capped) stream needed to answer exactly; None = all.
+        needed = None if limit is None else offset + limit
+        cap = self.config.max_solutions
+        if parsed.distinct:
+            # Deduplication needs the projected rows, but only their set —
+            # the row list itself is never built.
+            variables = parsed.answer_variables()
+            seen: set[Binding] = set()
+            for row in self._iter_solutions(parsed, qgraph, timeout_seconds, None):
+                seen.add(row.project(variables))
+                if needed is not None and len(seen) >= needed:
+                    break
+            total = len(seen)
+        else:
+            # Stop the stream early only when that cannot loosen the engine
+            # cap (query() applies the cap first, then slices LIMIT/OFFSET).
+            stream_cap = needed if needed is not None and (cap is None or needed < cap) else None
+            total = 0
+            for _ in self._iter_solutions(parsed, qgraph, timeout_seconds, stream_cap):
+                total += 1
+                if needed is not None and total >= needed:
+                    break
+        after_offset = max(0, total - offset)
+        return after_offset if limit is None else min(after_offset, limit)
+
+    def ask(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> bool:
+        """Return True when the query has at least one solution."""
+        parsed, qgraph = self.prepare(query)
+        for _ in self._iter_solutions(parsed, qgraph, timeout_seconds, 1):
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # mutation plumbing shared with subclasses
+    # ------------------------------------------------------------------ #
+    def _commit(self, changed: bool) -> None:
+        """Finish a mutation batch: version bump + plan-cache invalidation."""
+        if not changed:
+            return
+        self.data_version += 1
+        cache = self.plan_cache
+        if cache is None:
+            return
+        clear = getattr(cache, "clear", None)
+        if clear is not None:
+            clear()
+        else:
+            # A cache that cannot be cleared would serve stale plans —
+            # dropping it is the only safe option.
+            self.plan_cache = None
+
+    # ------------------------------------------------------------------ #
+    # solution streaming
+    # ------------------------------------------------------------------ #
+    def _component_rows(
+        self,
+        qgraph: QueryMultigraph,
+        component: set[int],
+        deadline: Deadline,
+        timeout_seconds: float | None,
+        max_solutions: int | None,
+    ) -> Iterator[Binding]:
+        """Stream the bindings of one connected component (subclass hook)."""
+        raise NotImplementedError
+
+    def _iter_solutions(
+        self,
+        parsed: SelectQuery,
+        qgraph: QueryMultigraph,
+        timeout_seconds: float | None,
+        max_solutions: int | None,
+    ) -> Iterator[Binding]:
+        """Stream solution bindings under the shared deadline and row cap."""
+        if qgraph.unsatisfiable or any(v.unsatisfiable for v in qgraph.vertices.values()):
+            return
+        effective_timeout = (
+            timeout_seconds if timeout_seconds is not None else self.config.timeout_seconds
+        )
+        effective_limit = (
+            max_solutions if max_solutions is not None else self.config.max_solutions
+        )
+        # One deadline shared by the matching of every component and by the
+        # embedding expansion below, so unselective queries whose Cartesian
+        # product explodes still honour the time budget.
+        deadline = Deadline(effective_timeout)
+
+        components = qgraph.connected_components()
+        if not components:
+            # A fully ground query: satisfiable (checked above) means one empty row.
+            yield Binding({})
+            return
+        if len(components) == 1:
+            emitted = 0
+            rows = self._component_rows(
+                qgraph, components[0], deadline, timeout_seconds, max_solutions
+            )
+            for row in rows:
+                deadline.check()
+                yield row
+                emitted += 1
+                if effective_limit is not None and emitted >= effective_limit:
+                    return
+            return
+        # Disconnected patterns need every component answer before the cross
+        # product, so the per-component bindings are still materialised.
+        per_component: list[list[Binding]] = []
+        for component in components:
+            rows = self._component_rows(
+                qgraph, component, deadline, timeout_seconds, max_solutions
+            )
+            bindings = self._collect(rows, deadline, effective_limit)
+            if not bindings:
+                return
+            per_component.append(bindings)
+        emitted = 0
+        for row in combine_component_bindings(per_component):
+            deadline.check()
+            yield row
+            emitted += 1
+            if effective_limit is not None and emitted >= effective_limit:
+                return
+
+    @staticmethod
+    def _collect(rows, deadline: Deadline, limit: int | None) -> list[Binding]:
+        """Materialise bindings under the shared deadline and optional row cap."""
+        collected: list[Binding] = []
+        for row in rows:
+            deadline.check()
+            collected.append(row)
+            if limit is not None and len(collected) >= limit:
+                break
+        return collected
+
+
+class AmberEngine(QueryEngineBase):
     """Attributed Multigraph Based Engine for RDF querying."""
 
     name = "AMbER"
@@ -208,104 +422,6 @@ class AmberEngine:
         self._commit(count > 0)
         return count
 
-    def _commit(self, changed: bool) -> None:
-        """Finish a mutation batch: version bump + plan-cache invalidation."""
-        if not changed:
-            return
-        self.data_version += 1
-        cache = self.plan_cache
-        if cache is None:
-            return
-        clear = getattr(cache, "clear", None)
-        if clear is not None:
-            clear()
-        else:
-            # A cache that cannot be cleared would serve stale plans —
-            # dropping it is the only safe option.
-            self.plan_cache = None
-
-    # ------------------------------------------------------------------ #
-    # online stage
-    # ------------------------------------------------------------------ #
-    def prepare(
-        self, query: str | SelectQuery, use_cache: bool = True
-    ) -> tuple[SelectQuery, QueryMultigraph]:
-        """Parse (if needed) and transform a query into its query multigraph.
-
-        When a :attr:`plan_cache` is installed and ``query`` is a string, the
-        prepared plan is memoised keyed by the exact query text.  Plans are
-        read-only during matching, so cached plans may be shared by threads.
-        """
-        if isinstance(query, str):
-            cache = self.plan_cache if use_cache else None
-            if cache is not None:
-                plan = cache.get(query)
-                if plan is not None:
-                    return plan
-            parsed = parse_sparql(query)
-            plan = (parsed, build_query_multigraph(parsed, self.data))
-            if cache is not None:
-                cache.put(query, plan)
-            return plan
-        return query, build_query_multigraph(query, self.data)
-
-    def query(
-        self,
-        query: str | SelectQuery,
-        timeout_seconds: float | None = None,
-        max_solutions: int | None = None,
-    ) -> ResultSet:
-        """Answer a SPARQL SELECT query and return its result set.
-
-        ``timeout_seconds`` overrides the engine-level matcher timeout;
-        :class:`QueryTimeout` is raised when it is exceeded.
-        """
-        parsed, qgraph = self.prepare(query)
-        rows = self._iter_solutions(parsed, qgraph, timeout_seconds, max_solutions)
-        return ResultSet.for_query(parsed, rows)
-
-    def count(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> int:
-        """Return the number of solution rows of ``query``.
-
-        Solutions are streamed and counted without materialising the full
-        :class:`ResultSet`; DISTINCT, LIMIT and OFFSET semantics match
-        ``query()`` — including the engine-level ``max_solutions`` cap, which
-        bounds the solution stream before the modifiers apply.
-        """
-        parsed, qgraph = self.prepare(query)
-        limit, offset = parsed.limit, parsed.offset or 0
-        # Rows of the (capped) stream needed to answer exactly; None = all.
-        needed = None if limit is None else offset + limit
-        cap = self.config.max_solutions
-        if parsed.distinct:
-            # Deduplication needs the projected rows, but only their set —
-            # the row list itself is never built.
-            variables = parsed.answer_variables()
-            seen: set[Binding] = set()
-            for row in self._iter_solutions(parsed, qgraph, timeout_seconds, None):
-                seen.add(row.project(variables))
-                if needed is not None and len(seen) >= needed:
-                    break
-            total = len(seen)
-        else:
-            # Stop the stream early only when that cannot loosen the engine
-            # cap (query() applies the cap first, then slices LIMIT/OFFSET).
-            stream_cap = needed if needed is not None and (cap is None or needed < cap) else None
-            total = 0
-            for _ in self._iter_solutions(parsed, qgraph, timeout_seconds, stream_cap):
-                total += 1
-                if needed is not None and total >= needed:
-                    break
-        after_offset = max(0, total - offset)
-        return after_offset if limit is None else min(after_offset, limit)
-
-    def ask(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> bool:
-        """Return True when the query has at least one solution."""
-        parsed, qgraph = self.prepare(query)
-        for _ in self._iter_solutions(parsed, qgraph, timeout_seconds, 1):
-            return True
-        return False
-
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
@@ -326,72 +442,18 @@ class AmberEngine:
         )
         return MultigraphMatcher(self.data, self.indexes, config)
 
-    def _iter_solutions(
+    def _component_rows(
         self,
-        parsed: SelectQuery,
         qgraph: QueryMultigraph,
+        component: set[int],
+        deadline: Deadline,
         timeout_seconds: float | None,
         max_solutions: int | None,
     ) -> Iterator[Binding]:
-        """Stream solution bindings under the shared deadline and row cap."""
-        if qgraph.unsatisfiable or any(v.unsatisfiable for v in qgraph.vertices.values()):
-            return
-        effective_timeout = (
-            timeout_seconds if timeout_seconds is not None else self.config.timeout_seconds
-        )
-        effective_limit = (
-            max_solutions if max_solutions is not None else self.config.max_solutions
-        )
+        """Match one component with the recursive core/satellite matcher."""
         matcher = self._matcher_for(timeout_seconds, max_solutions)
-        # One deadline shared by the matching recursion of every component and
-        # by the embedding expansion below, so unselective queries whose
-        # Cartesian product explodes still honour the time budget.
-        deadline = Deadline(effective_timeout)
-
-        components = qgraph.connected_components()
-        if not components:
-            # A fully ground query: satisfiable (checked above) means one empty row.
-            yield Binding({})
-            return
-        if len(components) == 1:
-            solutions = matcher.match_component(qgraph, components[0], deadline)
-            emitted = 0
-            for row in component_bindings(solutions, qgraph, self.data):
-                deadline.check()
-                yield row
-                emitted += 1
-                if effective_limit is not None and emitted >= effective_limit:
-                    return
-            return
-        # Disconnected patterns need every component answer before the cross
-        # product, so the per-component bindings are still materialised.
-        per_component: list[list[Binding]] = []
-        for component in components:
-            solutions = matcher.match_component(qgraph, component, deadline)
-            bindings = self._collect(
-                component_bindings(solutions, qgraph, self.data), deadline, effective_limit
-            )
-            if not bindings:
-                return
-            per_component.append(bindings)
-        emitted = 0
-        for row in combine_component_bindings(per_component):
-            deadline.check()
-            yield row
-            emitted += 1
-            if effective_limit is not None and emitted >= effective_limit:
-                return
-
-    @staticmethod
-    def _collect(rows, deadline: Deadline, limit: int | None) -> list[Binding]:
-        """Materialise bindings under the shared deadline and optional row cap."""
-        collected: list[Binding] = []
-        for row in rows:
-            deadline.check()
-            collected.append(row)
-            if limit is not None and len(collected) >= limit:
-                break
-        return collected
+        solutions = matcher.match_component(qgraph, component, deadline)
+        return component_bindings(solutions, qgraph, self.data)
 
     def statistics(self) -> dict[str, int]:
         """Return dataset statistics of the loaded multigraph (Table 4)."""

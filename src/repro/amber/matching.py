@@ -238,6 +238,32 @@ class MultigraphMatcher:
                 return
 
     # ------------------------------------------------------------------ #
+    # public candidate generation (used by the cluster scatter stage)
+    # ------------------------------------------------------------------ #
+    def initial_candidates(self, qgraph: QueryMultigraph, vertex: int) -> set[int]:
+        """Signature-index candidates for ``vertex`` (Lemma 1 pruning)."""
+        return self._initial_candidates(qgraph, vertex)
+
+    def vertex_candidates(self, vertex: QueryVertex) -> set[int] | None:
+        """Attribute/IRI-constraint candidates for ``vertex`` (Algorithm 1).
+
+        ``None`` means the vertex is unconstrained (no pruning possible).
+        """
+        return self._process_vertex(vertex)
+
+    def neighbor_candidates(
+        self,
+        qgraph: QueryMultigraph,
+        anchor_query_vertex: int,
+        anchor_data_vertex: int,
+        target_query_vertex: int,
+    ) -> set[int]:
+        """Neighbourhood-index candidates for a vertex adjacent to a match."""
+        return self._neighbor_candidates(
+            qgraph, anchor_query_vertex, anchor_data_vertex, target_query_vertex
+        )
+
+    # ------------------------------------------------------------------ #
     # Algorithm 1: ProcessVertex
     # ------------------------------------------------------------------ #
     def _process_vertex(self, vertex: QueryVertex) -> set[int] | None:

@@ -41,6 +41,7 @@ __all__ = [
     "UpdateResult",
     "GraphMutator",
     "resolve_load_path",
+    "resolve_loads",
     "load_triples",
 ]
 
@@ -97,6 +98,24 @@ def _triples_from_file(path: Path) -> Iterable[Triple]:
     raise UpdateError(
         f"cannot infer RDF format from suffix {suffix!r} of LOAD source {path} "
         f"(expected .nt/.ntriples or .ttl/.turtle)"
+    )
+
+
+def resolve_loads(
+    request: UpdateRequest, base_dir: str | Path | None = None
+) -> tuple[InsertData | DeleteData, ...]:
+    """Resolve every ``LOAD`` of ``request`` into a ground ``InsertData`` batch.
+
+    Reading and parsing the sources up front makes request application
+    all-or-nothing with respect to LOAD failures; the query service calls
+    this before taking its exclusive write lock so file I/O never blocks
+    readers.
+    """
+    return tuple(
+        InsertData(load_triples(operation, base_dir))
+        if isinstance(operation, LoadData)
+        else operation
+        for operation in request.operations
     )
 
 
@@ -183,19 +202,22 @@ class GraphMutator:
     # update requests
     # ------------------------------------------------------------------ #
     def apply(self, request: UpdateRequest, base_dir: str | Path | None = None) -> UpdateResult:
-        """Apply every operation of ``request`` in order."""
+        """Apply every operation of ``request`` in order.
+
+        ``LOAD`` sources are read and parsed *before* any operation
+        mutates the graph: a request whose LOAD fails (missing file,
+        unparseable payload) raises :class:`UpdateError` with the graph
+        untouched, instead of leaving the operations preceding the failure
+        half-applied.
+        """
+        operations = resolve_loads(request, base_dir)
         result = UpdateResult()
-        for operation in request.operations:
+        for operation in operations:
             if isinstance(operation, InsertData):
                 result.inserted += self.insert_triples(operation.triples)
             elif isinstance(operation, DeleteData):
                 result.deleted += self.delete_triples(operation.triples)
-            elif isinstance(operation, LoadData):
-                result.inserted += self._load(operation, base_dir)
-            else:  # pragma: no cover - parser only produces the three forms
+            else:  # pragma: no cover - resolve_loads only leaves the two forms
                 raise UpdateError(f"unsupported update operation {operation!r}")
             result.operations += 1
         return result
-
-    def _load(self, operation: LoadData, base_dir: str | Path | None) -> int:
-        return self.insert_triples(load_triples(operation, base_dir))

@@ -8,6 +8,7 @@ from .experiments import (
     build_dataset,
     build_engines,
     figure_experiment,
+    shard_scaling_experiment,
     table1_complex_queries,
     table4_dataset_statistics,
     table5_offline_stage,
@@ -29,6 +30,7 @@ __all__ = [
     "build_dataset",
     "build_engines",
     "figure_experiment",
+    "shard_scaling_experiment",
     "table1_complex_queries",
     "table4_dataset_statistics",
     "table5_offline_stage",

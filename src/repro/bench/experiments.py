@@ -41,6 +41,7 @@ __all__ = [
     "FigureResult",
     "build_dataset",
     "build_engines",
+    "shard_scaling_experiment",
     "table1_complex_queries",
     "table4_dataset_statistics",
     "table5_offline_stage",
@@ -163,6 +164,45 @@ def table5_offline_stage(scale: ExperimentScale | None = None) -> dict[str, dict
             "index_items": indexes.report.total_items if indexes.report else 0,
         }
     return report
+
+
+# --------------------------------------------------------------------------- #
+# Shard scaling (cluster engine)
+# --------------------------------------------------------------------------- #
+def shard_scaling_experiment(
+    scale: ExperimentScale | None = None,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    query_size: int = 50,
+    query_count: int | None = None,
+    executor: str = "thread",
+) -> dict[str, WorkloadResult]:
+    """Scatter–gather scaling on the Table 1 workload (complex-50, DBPEDIA).
+
+    Runs the single-process AMbER engine as the baseline, then the cluster
+    engine at each shard count, on the identical query workload.  The
+    reproduced quantity is qualitative: the cluster engine must answer the
+    same queries (identical result multisets are asserted by the cluster
+    tests) while the per-shard matching work shrinks with the shard count.
+    """
+    from ..cluster import ShardedEngine
+
+    scale = scale or ExperimentScale()
+    store = build_dataset("DBPEDIA", scale)
+    generator = WorkloadGenerator(store, seed=scale.seed)
+    count = query_count if query_count is not None else scale.queries_per_size
+    queries = generator.workload("complex", query_size, count)
+
+    baseline = AmberEngine.from_store(store)
+    engines: list = [baseline]
+    for shards in shard_counts:
+        engine = ShardedEngine.build(baseline.data, shards, executor=executor)
+        engine.name = f"AMbER-cluster/{shards}"
+        engines.append(engine)
+    try:
+        return run_workload(engines, queries, scale.timeout_seconds)
+    finally:
+        for engine in engines[1:]:
+            engine.close()
 
 
 # --------------------------------------------------------------------------- #

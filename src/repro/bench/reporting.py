@@ -30,10 +30,10 @@ def timing_fingerprint(text: str) -> str:
     ``n/a`` of an unanswered cell — is replaced with a placeholder, and the
     alignment padding and rules whose widths depend on those digits are
     collapsed.  What survives is the genuine structure: titles, column
-    headers, row labels and the table shape.  (Masking must cover integers
-    too: the synthetic generators are only deterministic within one process,
-    because hash randomisation perturbs set/dict iteration, so item counts
-    and timeout outcomes legitimately differ between runs.)
+    headers, row labels and the table shape.  (Workload generation has been
+    hash-seed independent since the generators iterate stores in sorted
+    order, but integers stay masked: row counts shift with timeout outcomes,
+    which legitimately differ between machines.)
 
     Two tables with equal fingerprints differ only in measurements, which
     lets the benchmark harness keep the committed file — and its committed

@@ -1,0 +1,605 @@
+"""The sharded engine: parallel scatter–gather SPARQL answering.
+
+:class:`ShardedEngine` exposes the :class:`~repro.amber.engine.AmberEngine`
+query/count/prepare API over N shards produced by
+:func:`~repro.cluster.partition.partition_data`.  One query proceeds as:
+
+1. **plan** — the query multigraph is built once against the shared
+   dictionaries (through :class:`ClusterCatalog`) and each connected
+   component is covered by star subqueries (:func:`~.scatter.plan_stars`);
+2. **scatter** — every (star, shard) pair is matched on a worker pool
+   (threads by default, processes optional), each shard anchoring star
+   roots to the data vertices it *owns*: ownership is a partition, so the
+   union of per-shard results is exactly the global star relation with no
+   duplicates from halo replication;
+3. **gather** — the star relations are hash-joined on their shared query
+   vertices (smallest-first, connectivity-aware order) and private
+   satellite sets stay factored until the final embedding expansion.
+
+The result multiset is identical to a single ``AmberEngine`` on the same
+data — the property tests assert this over arbitrary update interleavings.
+
+Thread safety matches the single engine: queries may run concurrently, but
+mutations require the caller to exclude readers (the query service wraps
+both in its reader-writer lock).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from itertools import product
+from typing import Iterable, Iterator, Sequence
+
+from ..amber.engine import AmberEngine, BuildReport, PlanCache, QueryEngineBase
+from ..amber.matching import MatcherConfig
+from ..amber.mutation import UpdateResult
+from ..index.manager import IndexSet
+from ..multigraph.builder import DataMultigraph
+from ..multigraph.query_graph import QueryMultigraph
+from ..rdf.terms import IRI, BlankNode, Triple
+from ..sparql.bindings import Binding
+from ..sparql.update import UpdateRequest, parse_update
+from ..timing import Deadline
+from .mutation import ClusterMutator
+from .partition import ShardedData, partition_data
+from .scatter import StarMatch, StarQuery, match_star, plan_stars
+
+__all__ = ["ClusterCatalog", "ShardedEngine"]
+
+#: Worker-pool kinds accepted by :class:`ShardedEngine`.
+_EXECUTORS = ("thread", "process", "serial")
+
+
+class _OwnedGraphView:
+    """Graph facade answering lookups from the owning shard of each vertex.
+
+    A shard owns the complete neighbourhood and attribute set of its owned
+    vertices, so delegating per-vertex questions to the owner is exact.
+    """
+
+    def __init__(self, shards: Sequence[DataMultigraph], owner: dict[int, int]):
+        self._shards = shards
+        self._owner = owner
+
+    def _graph_of(self, vertex: int):
+        shard = self._owner.get(vertex)
+        return None if shard is None else self._shards[shard].graph
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._owner
+
+    def attributes(self, vertex: int) -> frozenset[int]:
+        graph = self._graph_of(vertex)
+        return frozenset() if graph is None else graph.attributes(vertex)
+
+    def has_edge(self, source: int, target: int, edge_type: int | None = None) -> bool:
+        graph = self._graph_of(source)
+        return False if graph is None else graph.has_edge(source, target, edge_type)
+
+    def neighbors(self, vertex: int) -> set[int]:
+        graph = self._graph_of(vertex)
+        return set() if graph is None else graph.neighbors(vertex)
+
+
+class ClusterCatalog:
+    """The cluster-wide view a query needs: dictionaries plus owner lookups.
+
+    Duck-types the :class:`DataMultigraph` surface used by query-graph
+    construction and binding translation, without materialising the union
+    graph: structural questions go to the owning shard, id translation to
+    the shared dictionaries.
+    """
+
+    def __init__(self, shards: Sequence[DataMultigraph], owner: dict[int, int], triple_count: int):
+        self.shards = list(shards)
+        self.owner = owner
+        self.triple_count = triple_count
+        self.dictionaries = self.shards[0].dictionaries
+        self.graph = _OwnedGraphView(self.shards, owner)
+
+    def vertex_id(self, entity: IRI | BlankNode) -> int | None:
+        """Return the vertex id of an IRI/blank node, or None when absent."""
+        return self.dictionaries.vertices.get(entity)
+
+    def entity(self, vertex_id: int) -> IRI | BlankNode:
+        """Inverse vertex mapping ``Mv^-1``."""
+        return self.dictionaries.vertex_entity(vertex_id)
+
+    def edge_type_id(self, predicate: IRI) -> int | None:
+        """Return the edge-type id of a predicate, or None when absent."""
+        return self.dictionaries.edge_types.get(predicate)
+
+    def attribute_id(self, predicate, literal) -> int | None:
+        """Return the attribute id of a ``<predicate, literal>`` pair, or None."""
+        return self.dictionaries.attributes.get((predicate, literal))
+
+
+class ShardedEngine(QueryEngineBase):
+    """Scatter–gather engine over N halo-replicated shards."""
+
+    name = "AMbER-cluster"
+
+    def __init__(
+        self,
+        shards: Sequence[AmberEngine],
+        owner: dict[int, int],
+        triple_count: int,
+        config: MatcherConfig | None = None,
+        plan_cache: PlanCache | None = None,
+        build_report: BuildReport | None = None,
+        workers: int | None = None,
+        executor: str = "thread",
+    ):
+        if not shards:
+            raise ValueError("a sharded engine needs at least one shard")
+        if executor not in _EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r} (expected one of {_EXECUTORS})")
+        self.shards = list(shards)
+        self.owner = owner
+        self.data = ClusterCatalog([engine.data for engine in self.shards], owner, triple_count)
+        self.config = config or MatcherConfig()
+        self.plan_cache = plan_cache
+        self.build_report = build_report
+        self.data_version = 0
+        self.executor = executor
+        default_workers = min(len(self.shards), os.cpu_count() or 1)
+        self.workers = workers if workers is not None else default_workers
+        self._pool: Executor | None = None
+        # Queries run concurrently under the service's read lock, so pool
+        # creation must not race: a lost check-then-set would leak a whole
+        # executor (and its worker processes) with nobody to shut it down.
+        self._pool_lock = threading.Lock()
+        self._mutator = ClusterMutator(self)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        data: DataMultigraph,
+        shard_count: int,
+        config: MatcherConfig | None = None,
+        workers: int | None = None,
+        executor: str = "thread",
+        hub_threshold: int | None = None,
+        rtree_fanout: int = 16,
+    ) -> "ShardedEngine":
+        """Partition ``data`` and build one indexed engine per shard."""
+        start = time.perf_counter()
+        sharded = partition_data(data, shard_count, hub_threshold)
+        partition_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        engines = [
+            AmberEngine(shard, IndexSet.build(shard, rtree_fanout=rtree_fanout), config=config)
+            for shard in sharded.shards
+        ]
+        index_seconds = time.perf_counter() - start
+
+        stats = data.statistics()
+        report = BuildReport(
+            database_seconds=partition_seconds,
+            index_seconds=index_seconds,
+            triples=stats["triples"],
+            vertices=stats["vertices"],
+            edges=stats["edges"],
+            edge_types=stats["edge_types"],
+            attributes=stats["attributes"],
+            index_items=sum(
+                engine.indexes.report.total_items if engine.indexes.report else 0
+                for engine in engines
+            ),
+        )
+        return cls(
+            engines,
+            sharded.owner,
+            sharded.triple_count,
+            config=config,
+            build_report=report,
+            workers=workers,
+            executor=executor,
+        )
+
+    @classmethod
+    def from_sharded_data(
+        cls,
+        sharded: ShardedData,
+        config: MatcherConfig | None = None,
+        **kwargs,
+    ) -> "ShardedEngine":
+        """Build shard engines over already-partitioned data."""
+        engines = [
+            AmberEngine(shard, IndexSet.build(shard), config=config) for shard in sharded.shards
+        ]
+        return cls(engines, sharded.owner, sharded.triple_count, config=config, **kwargs)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------------ #
+    # dynamic updates (AmberEngine API parity)
+    # ------------------------------------------------------------------ #
+    def apply_update(
+        self, update: str | UpdateRequest, base_dir: str | None = None
+    ) -> UpdateResult:
+        """Apply a SPARQL UPDATE, routing triples to their owning shards."""
+        request = parse_update(update) if isinstance(update, str) else update
+        result = self._mutator.apply(request, base_dir=base_dir)
+        self._finish_mutation(result.changed)
+        return result
+
+    def insert_triples(self, triples: Iterable[Triple]) -> int:
+        """Insert triples (set semantics); returns how many were new."""
+        count = self._mutator.insert_triples(triples)
+        self._finish_mutation(count > 0)
+        return count
+
+    def delete_triples(self, triples: Iterable[Triple]) -> int:
+        """Delete triples; returns how many were present."""
+        count = self._mutator.delete_triples(triples)
+        self._finish_mutation(count > 0)
+        return count
+
+    def _finish_mutation(self, changed: bool) -> None:
+        self._commit(changed)
+        if changed and self.executor == "process":
+            # Worker processes hold pre-mutation shard copies; the pool is
+            # rebuilt from current state on the next query.
+            self._shutdown_pool()
+
+    # ------------------------------------------------------------------ #
+    # scatter–gather matching
+    # ------------------------------------------------------------------ #
+    def _component_rows(
+        self,
+        qgraph: QueryMultigraph,
+        component: set[int],
+        deadline: Deadline,
+        timeout_seconds: float | None,
+        max_solutions: int | None,
+    ) -> Iterator[Binding]:
+        """One component: scatter stars in selectivity order, join, expand.
+
+        Stars run as waves — every shard matches the current star in
+        parallel — ordered most-constrained-first under a connectivity
+        constraint.  The values each query vertex can still take (its
+        semi-join *frontier*) are pushed into the next wave's scatter, so
+        an unconstrained interior star only evaluates anchors that some
+        already-joined star can reach, mirroring the pruning the recursive
+        single-process matcher gets from matched neighbours.
+        """
+        stars = _order_stars(qgraph, plan_stars(qgraph, component))
+        states: list[_JoinState] | None = None
+        frontier: dict[int, frozenset[int]] = {}
+        for star in stars:
+            relation = self._scatter_star(qgraph, star, frontier, deadline)
+            states = _join_star(star, relation, states, deadline)
+            if not states:
+                return
+            frontier = _frontier_of(states, deadline)
+        for assigned in _expand_embeddings(states or [], deadline):
+            yield Binding(
+                {
+                    qgraph.variable_of(query_vertex): self.data.entity(data_vertex)
+                    for query_vertex, data_vertex in assigned.items()
+                }
+            )
+
+    def _scatter_star(
+        self,
+        qgraph: QueryMultigraph,
+        star: StarQuery,
+        frontier: dict[int, frozenset[int]],
+        deadline: Deadline,
+    ) -> list[StarMatch]:
+        """Match one star on every shard; return the union relation.
+
+        Ownership partitions the anchors, so concatenating per-shard results
+        in shard order is the exact, duplicate-free global star relation.
+        """
+        restrict = frontier if frontier else None
+        if self.executor == "serial" or self.workers <= 1 or self.shard_count == 1:
+            return [
+                match
+                for shard in range(self.shard_count)
+                for match in match_star(
+                    self.shards[shard], qgraph, star, self.owner, shard, deadline, restrict
+                )
+            ]
+        pool = self._ensure_pool()
+        if self.executor == "process":
+            futures = [
+                pool.submit(
+                    _match_star_in_worker, shard, qgraph, star, deadline.remaining(), restrict
+                )
+                for shard in range(self.shard_count)
+            ]
+        else:
+            futures = [
+                pool.submit(
+                    match_star,
+                    self.shards[shard],
+                    qgraph,
+                    star,
+                    self.owner,
+                    shard,
+                    deadline,
+                    restrict,
+                )
+                for shard in range(self.shard_count)
+            ]
+        return [match for future in futures for match in future.result()]
+
+    # ------------------------------------------------------------------ #
+    # worker pool plumbing
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> Executor:
+        with self._pool_lock:
+            if self._pool is None:
+                if self.executor == "process":
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=_init_worker,
+                        initargs=(
+                            [engine.data for engine in self.shards],
+                            self.owner,
+                            self.config,
+                        ),
+                    )
+                else:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.workers, thread_name_prefix="amber-shard"
+                    )
+            return self._pool
+
+    def _shutdown_pool(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        self._shutdown_pool()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> dict[str, int]:
+        """Cluster-wide dataset statistics, identical to a single engine's.
+
+        Each edge is counted at the shard owning its source vertex, each
+        attribute at the shard owning its carrier — halo replicas are
+        excluded, so the numbers match an unsharded build exactly.
+        """
+        edges = 0
+        edge_pairs = 0
+        edge_types: set[int] = set()
+        attributed = 0
+        for shard_index, engine in enumerate(self.shards):
+            graph = engine.data.graph
+            for vertex in graph.vertices():
+                if self.owner.get(vertex) != shard_index:
+                    continue
+                if graph.attribute_count(vertex):
+                    attributed += 1
+                targets = graph.out_neighbors(vertex)
+                edge_pairs += len(targets)
+                for types in targets.values():
+                    edges += len(types)
+                    edge_types.update(types)
+        return {
+            "vertices": len(self.owner),
+            "edges": edges,
+            "edge_pairs": edge_pairs,
+            "edge_types": len(edge_types),
+            "attributed_vertices": attributed,
+            "triples": self.data.triple_count,
+            "attributes": len(self.data.dictionaries.attributes),
+        }
+
+    def shard_stats(self) -> list[dict[str, int]]:
+        """Per-shard materialisation statistics for the ``/stats`` endpoint."""
+        owned = [0] * self.shard_count
+        for shard in self.owner.values():
+            owned[shard] += 1
+        stats = []
+        for index, engine in enumerate(self.shards):
+            graph = engine.data.graph
+            stats.append(
+                {
+                    "shard": index,
+                    "owned_vertices": owned[index],
+                    "vertices": graph.vertex_count(),
+                    "edges": graph.multi_edge_count(),
+                    "triples": engine.data.triple_count,
+                    "data_version": engine.data_version,
+                    "signature_stale": engine.indexes.signatures.stale_count,
+                }
+            )
+        return stats
+
+    def signature_stale_total(self) -> int:
+        """Total stale signature-overlay entries across shards (for /stats)."""
+        return sum(engine.indexes.signatures.stale_count for engine in self.shards)
+
+    def __repr__(self) -> str:
+        stats = self.statistics()
+        return (
+            f"ShardedEngine(shards={self.shard_count}, vertices={stats['vertices']}, "
+            f"edges={stats['edges']}, executor={self.executor!r}, workers={self.workers})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# gather: joining star relations with factored satellite sets
+# --------------------------------------------------------------------------- #
+#: One partially joined solution: concrete root assignments plus candidate
+#: domains for query vertices not yet anchored (satellites and roots of
+#: stars still to come).
+_JoinState = tuple[dict[int, int], dict[int, frozenset[int]]]
+
+
+def _order_stars(qgraph: QueryMultigraph, stars: list[StarQuery]) -> list[StarQuery]:
+    """Most-constrained-first star order under a connectivity constraint.
+
+    The first star anchors the smallest expected relation (constrained
+    roots first, then structure-rich ones — the r1/r2 spirit of Sec. 5.3);
+    each following star must touch an already-bound vertex when possible,
+    so its scatter inherits a restricting frontier.
+    """
+
+    def rank(star: StarQuery):
+        vertex = qgraph.vertices[star.root]
+        constrained = bool(vertex.attributes) or bool(vertex.iri_constraints)
+        edge_types = sum(len(types) for types in qgraph.multi_edge_signature(star.root))
+        return (0 if constrained else 1, -edge_types, star.root)
+
+    remaining = sorted(stars, key=rank)
+    order = [remaining.pop(0)]
+    bound = set(order[0].shared) | set(order[0].private)
+    while remaining:
+        connected = [s for s in remaining if bound & (set(s.shared) | set(s.private))]
+        pool = connected or remaining
+        chosen = min(pool, key=rank)
+        remaining.remove(chosen)
+        order.append(chosen)
+        bound.update(chosen.shared)
+        bound.update(chosen.private)
+    return order
+
+
+def _join_star(
+    star: StarQuery,
+    relation: list[StarMatch],
+    states: list[_JoinState] | None,
+    deadline: Deadline,
+) -> list[_JoinState]:
+    """Fold one star relation into the partial solutions.
+
+    The relation has exactly one match per anchor (anchors are globally
+    unique thanks to ownership dedup), so probing by root value is a plain
+    hash lookup; leaf candidate sets are intersected into the state's
+    domains, never expanded.
+    """
+    by_anchor = {match.anchor: match for match in relation}
+    if states is None:
+        states = [({}, {})]
+    merged: list[_JoinState] = []
+    for assigned, domains in states:
+        deadline.check()
+        root = star.root
+        if root in assigned:
+            anchored = by_anchor.get(assigned[root])
+            pool = [anchored] if anchored is not None else []
+        elif root in domains:
+            pool = [
+                by_anchor[anchor] for anchor in sorted(domains[root]) if anchor in by_anchor
+            ]
+        else:
+            pool = [by_anchor[anchor] for anchor in sorted(by_anchor)]
+        for match in pool:
+            new_assigned = dict(assigned)
+            new_assigned[root] = match.anchor
+            new_domains = dict(domains)
+            new_domains.pop(root, None)
+            consistent = True
+            for leaf, candidates in zip(star.leaves, match.leaves):
+                if leaf in new_assigned:
+                    if new_assigned[leaf] not in candidates:
+                        consistent = False
+                        break
+                elif leaf in new_domains:
+                    narrowed = new_domains[leaf] & candidates
+                    if not narrowed:
+                        consistent = False
+                        break
+                    new_domains[leaf] = narrowed
+                else:
+                    new_domains[leaf] = candidates
+            if consistent:
+                merged.append((new_assigned, new_domains))
+    return merged
+
+
+def _frontier_of(states: list[_JoinState], deadline: Deadline) -> dict[int, frozenset[int]]:
+    """The values every seen query vertex can still take, across all states."""
+    pools: dict[int, set[int]] = {}
+    for assigned, domains in states:
+        deadline.check()
+        for vertex, value in assigned.items():
+            pools.setdefault(vertex, set()).add(value)
+        for vertex, values in domains.items():
+            pools.setdefault(vertex, set()).update(values)
+    return {vertex: frozenset(values) for vertex, values in pools.items()}
+
+
+def _expand_embeddings(states: list[_JoinState], deadline: Deadline) -> Iterator[dict[int, int]]:
+    """Expand the remaining satellite domains into full embeddings (GenEmb).
+
+    After every star has joined, all roots are assigned; the surviving
+    domains belong to private satellites, whose Cartesian product gives
+    the component's embeddings.
+    """
+    for assigned, domains in states:
+        if not domains:
+            yield assigned
+            continue
+        satellites = sorted(domains)
+        pools = [sorted(domains[v]) for v in satellites]
+        for combo in product(*pools):
+            deadline.check()
+            full = dict(assigned)
+            full.update(zip(satellites, combo))
+            yield full
+
+
+# --------------------------------------------------------------------------- #
+# process-pool workers
+# --------------------------------------------------------------------------- #
+#: Per-process worker state: shard data, ownership and lazily built engines.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(shards: list[DataMultigraph], owner: dict[int, int], config: MatcherConfig):
+    """Process-pool initializer: receive the shard payload once per worker."""
+    _WORKER_STATE["shards"] = shards
+    _WORKER_STATE["owner"] = owner
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["engines"] = {}
+
+
+def _worker_engine(shard: int) -> AmberEngine:
+    """Build (once per worker) the indexed engine of ``shard``."""
+    engines = _WORKER_STATE["engines"]
+    engine = engines.get(shard)
+    if engine is None:
+        data = _WORKER_STATE["shards"][shard]
+        engine = AmberEngine(data, IndexSet.build(data), config=_WORKER_STATE["config"])
+        engines[shard] = engine
+    return engine
+
+
+def _match_star_in_worker(
+    shard: int,
+    qgraph: QueryMultigraph,
+    star: StarQuery,
+    remaining_seconds: float | None,
+    restrict: dict[int, frozenset[int]] | None,
+) -> list[StarMatch]:
+    """Match one star on one shard inside a worker process."""
+    deadline = Deadline(remaining_seconds)
+    return match_star(
+        _worker_engine(shard), qgraph, star, _WORKER_STATE["owner"], shard, deadline, restrict
+    )

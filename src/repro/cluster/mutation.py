@@ -1,0 +1,211 @@
+"""Routing SPARQL UPDATE mutations to the owning shards of a cluster.
+
+Each triple is applied through the :class:`~repro.amber.mutation.GraphMutator`
+of every shard that materialises it:
+
+* an **edge** triple lives in the shards owning its two endpoints (the same
+  shard when both are co-located) — each of those shards stores every edge
+  incident on its owned vertices;
+* an **attribute** triple (literal or reflexive object) lives in the shard
+  owning its subject *and* in every shard where the subject is currently a
+  halo vertex, because halos replicate full attribute sets.
+
+Halo consistency is maintained eagerly: an edge insert that drags a new
+halo vertex into a shard copies that vertex's attributes along; an edge
+delete that disconnects a halo vertex from all owned vertices of a shard
+strips its replicated attributes again, so every shard stays exactly what
+a fresh partition of the mutated graph would produce.
+
+Global change accounting is owner-based — a triple counts once, at the
+shard owning its subject — so insert/delete counts and the cluster-wide
+``triple_count`` match a single unsharded engine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from ..amber.mutation import UpdateError, UpdateResult, resolve_loads
+from ..multigraph.builder import DataMultigraph
+from ..rdf.terms import Triple
+from ..sparql.update import DeleteData, InsertData, UpdateRequest
+from .partition import default_owner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .engine import ShardedEngine
+
+__all__ = ["ClusterMutator"]
+
+
+class ClusterMutator:
+    """Applies triple mutations across shards, keeping halos consistent."""
+
+    def __init__(self, engine: "ShardedEngine"):
+        self.engine = engine
+
+    # ------------------------------------------------------------------ #
+    # update requests (mirrors GraphMutator.apply)
+    # ------------------------------------------------------------------ #
+    def apply(self, request: UpdateRequest, base_dir: str | Path | None = None) -> UpdateResult:
+        """Apply every operation of ``request`` in order.
+
+        LOAD sources resolve up front (see
+        :func:`repro.amber.mutation.resolve_loads`), so a failing LOAD
+        leaves every shard untouched.
+        """
+        result = UpdateResult()
+        for operation in resolve_loads(request, base_dir):
+            if isinstance(operation, InsertData):
+                result.inserted += self.insert_triples(operation.triples)
+            elif isinstance(operation, DeleteData):
+                result.deleted += self.delete_triples(operation.triples)
+            else:  # pragma: no cover - resolve_loads only leaves the two forms
+                raise UpdateError(f"unsupported update operation {operation!r}")
+            result.operations += 1
+        return result
+
+    def insert_triples(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples (set semantics); returns how many were new."""
+        return sum(1 for triple in triples if self._insert(triple))
+
+    def delete_triples(self, triples: Iterable[Triple]) -> int:
+        """Delete many triples; returns how many were present."""
+        return sum(1 for triple in triples if self._delete(triple))
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def _dictionaries(self):
+        return self.engine.data.dictionaries
+
+    def _attribute_key(self, triple: Triple):
+        # The key derivation is stateless; any shard's data works.
+        return DataMultigraph._attribute_key(self.engine.shards[0].data, triple)
+
+    def _owner_of(self, entity, create: bool) -> int | None:
+        """Return the owning shard of ``entity``, assigning one when new."""
+        vertices = self._dictionaries.vertices
+        if not create:
+            vertex = vertices.get(entity)
+            return None if vertex is None else self.engine.owner.get(vertex)
+        vertex = vertices.add(entity)
+        return self.engine.owner.setdefault(vertex, default_owner(vertex, self.engine.shard_count))
+
+    def _halo_shards(self, vertex: int) -> set[int]:
+        """Shards where ``vertex`` is currently replicated as a halo vertex."""
+        home = self.engine.owner[vertex]
+        neighbors = self.engine.shards[home].data.graph.neighbors(vertex)
+        return {self.engine.owner[n] for n in neighbors} - {home}
+
+    def _replicate_attributes(self, vertex: int, shard: int) -> None:
+        """Copy ``vertex``'s attribute set from its owner into ``shard``."""
+        home = self.engine.owner[vertex]
+        if home == shard:
+            return
+        source = self.engine.shards[home].data.graph
+        target = self.engine.shards[shard]
+        for attribute in sorted(source.attributes(vertex)):
+            if attribute not in target.data.graph.attributes(vertex):
+                target.data.graph.add_attribute(vertex, attribute)
+                target.indexes.attributes.add(vertex, attribute)
+                target.data.triple_count += 1
+
+    def _strip_halo(self, vertex: int, shard: int) -> None:
+        """Drop the replicated attributes of a halo vertex that lost its last edge."""
+        target = self.engine.shards[shard]
+        for attribute in sorted(target.data.graph.attributes(vertex)):
+            target.data.graph.remove_attribute(vertex, attribute)
+            target.indexes.attributes.remove(vertex, attribute)
+            target.data.triple_count -= 1
+
+    # ------------------------------------------------------------------ #
+    # triple-level primitives
+    # ------------------------------------------------------------------ #
+    def _insert(self, triple: Triple) -> bool:
+        engine = self.engine
+        key = self._attribute_key(triple)
+        if key is not None:
+            home = self._owner_of(triple.subject, create=True)
+            if engine.shards[home].insert_triples((triple,)) != 1:
+                return False
+            vertex = self._dictionaries.vertices.get(triple.subject)
+            attribute = self._dictionaries.attributes.get(key)
+            for shard in sorted(self._halo_shards(vertex)):
+                data = engine.shards[shard].data
+                if attribute not in data.graph.attributes(vertex):
+                    data.graph.add_attribute(vertex, attribute)
+                    engine.shards[shard].indexes.attributes.add(vertex, attribute)
+                    data.triple_count += 1
+            engine.data.triple_count += 1
+            return True
+
+        subject_home = self._owner_of(triple.subject, create=True)
+        object_home = self._owner_of(triple.object, create=True)
+        subject_id = self._dictionaries.vertices.get(triple.subject)
+        object_id = self._dictionaries.vertices.get(triple.object)
+        inserted = False
+        for shard in sorted({subject_home, object_home}):
+            target = engine.shards[shard]
+            # A vertex (re-)enters this shard's halo when it had no edges
+            # here before this insert.  Edge presence is the test, not graph
+            # membership: Multigraph never removes vertices, so a previously
+            # stripped halo vertex is still a member — with no edges and no
+            # replicated attributes — and must be re-replicated.
+            halo_new = [
+                vertex
+                for vertex in (subject_id, object_id)
+                if engine.owner[vertex] != shard and not target.data.graph.neighbors(vertex)
+            ]
+            changed = target.insert_triples((triple,)) == 1
+            if shard == subject_home:
+                inserted = changed
+            for vertex in halo_new:
+                self._replicate_attributes(vertex, shard)
+        if inserted:
+            engine.data.triple_count += 1
+        return inserted
+
+    def _delete(self, triple: Triple) -> bool:
+        engine = self.engine
+        key = self._attribute_key(triple)
+        if key is not None:
+            home = self._owner_of(triple.subject, create=False)
+            if home is None:
+                return False
+            if engine.shards[home].delete_triples((triple,)) != 1:
+                return False
+            vertex = self._dictionaries.vertices.get(triple.subject)
+            attribute = self._dictionaries.attributes.get(key)
+            for shard in sorted(self._halo_shards(vertex)):
+                data = engine.shards[shard].data
+                if attribute is not None and attribute in data.graph.attributes(vertex):
+                    data.graph.remove_attribute(vertex, attribute)
+                    engine.shards[shard].indexes.attributes.remove(vertex, attribute)
+                    data.triple_count -= 1
+            engine.data.triple_count -= 1
+            return True
+
+        subject_home = self._owner_of(triple.subject, create=False)
+        object_home = self._owner_of(triple.object, create=False)
+        if subject_home is None or object_home is None:
+            return False
+        subject_id = self._dictionaries.vertices.get(triple.subject)
+        object_id = self._dictionaries.vertices.get(triple.object)
+        deleted = False
+        for shard in sorted({subject_home, object_home}):
+            target = engine.shards[shard]
+            changed = target.delete_triples((triple,)) == 1
+            if shard == subject_home:
+                deleted = changed
+            for vertex in (subject_id, object_id):
+                if (
+                    engine.owner[vertex] != shard
+                    and vertex in target.data.graph
+                    and not target.data.graph.neighbors(vertex)
+                ):
+                    self._strip_halo(vertex, shard)
+        if deleted:
+            engine.data.triple_count -= 1
+        return deleted

@@ -1,0 +1,167 @@
+"""Star decomposition and shard-local star matching (the scatter stage).
+
+The query multigraph of one connected component is covered by **star
+subqueries**: one per *root* vertex, spanning the root, its variable
+neighbours and the root's own attribute/IRI constraints.  Roots are
+
+* every vertex of structural degree ≥ 2 (the core vertices of Section 3),
+* every vertex carrying an IRI constraint — the constraint is an edge to a
+  constant, and only the star rooted at the variable side can check that
+  edge shard-locally (the constant may be a halo vertex whose neighbourhood
+  is partial everywhere else),
+* degree-0 vertices (attribute-only patterns), and
+* one endpoint of any edge that would otherwise touch no root.
+
+Every query vertex is then either a root (matched by its own star, all of
+its constraints enforced there) or a **private leaf**: a degree-1,
+constraint-light satellite appearing in exactly one star, whose candidate
+set stays factored — the satellite solution-set representation of Lemma 2 —
+until final embedding expansion.
+
+A star rooted at query vertex ``u`` is matched on a shard by anchoring
+``u`` to *owned* data vertices only.  Ownership is a partition of the data
+vertices and owned vertices carry their complete neighbourhood (see
+:mod:`.partition`), so every global star match is found by exactly one
+shard and no shard reports a partial or duplicate match: the gather stage
+can take the plain union of per-shard results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..amber.engine import AmberEngine
+from ..amber.matching import MultigraphMatcher
+from ..multigraph.query_graph import QueryMultigraph
+from ..timing import Deadline
+
+__all__ = ["StarQuery", "StarMatch", "plan_stars", "match_star"]
+
+
+@dataclass(frozen=True)
+class StarQuery:
+    """One star subquery: a root, its join-relevant leaves and its private leaves."""
+
+    root: int
+    #: Variables this star binds to concrete vertices: the root followed by
+    #: every leaf that other stars also see (the hash-join attributes).
+    shared: tuple[int, ...]
+    #: Degree-1 satellites only this star sees; their candidate sets stay
+    #: factored until final expansion.
+    private: tuple[int, ...]
+
+    @property
+    def leaves(self) -> tuple[int, ...]:
+        """All variable neighbours of the root."""
+        return self.shared[1:] + self.private
+
+
+@dataclass(frozen=True)
+class StarMatch:
+    """One shard-local solution set of a star subquery.
+
+    ``anchor`` is the data vertex matched to the star's root; ``leaves``
+    holds one candidate set per ``star.leaves`` entry, in order.  Leaf sets
+    stay factored (the solution-set representation of Lemma 2) — the gather
+    stage intersects them during the join and only expands the surviving
+    satellite sets into embeddings at the very end.
+    """
+
+    anchor: int
+    leaves: tuple[frozenset[int], ...]
+
+
+def plan_stars(qgraph: QueryMultigraph, component: set[int]) -> list[StarQuery]:
+    """Cover one connected component with star subqueries.
+
+    The plan is deterministic (sorted traversals only) so every shard and
+    worker process derives the identical decomposition from the query text.
+    """
+    vertices = sorted(component)
+    degree = {u: qgraph.degree(u) for u in vertices}
+    roots = {
+        u
+        for u in vertices
+        if degree[u] >= 2 or degree[u] == 0 or qgraph.vertices[u].iri_constraints
+    }
+    # Edge coverage: an edge between two degree-1 vertices (an isolated
+    # multi-edge pair) would otherwise have no star; promote one endpoint.
+    for u in vertices:
+        for v in sorted(qgraph.graph.neighbors(u)):
+            if u < v and u not in roots and v not in roots:
+                roots.add(u)
+
+    stars = []
+    for u in sorted(roots):
+        neighbors = sorted(qgraph.graph.neighbors(u))
+        private = tuple(v for v in neighbors if v not in roots and degree[v] == 1)
+        shared = (u,) + tuple(v for v in neighbors if v in roots or degree[v] != 1)
+        stars.append(StarQuery(root=u, shared=shared, private=private))
+    return stars
+
+
+def match_star(
+    engine: AmberEngine,
+    qgraph: QueryMultigraph,
+    star: StarQuery,
+    owner: dict[int, int],
+    shard: int,
+    deadline: Deadline,
+    restrict: dict[int, frozenset[int]] | None = None,
+) -> list[StarMatch]:
+    """Match one star subquery on one shard, anchored to owned vertices only.
+
+    Root candidates come from the shard's signature index refined by the
+    root's attribute/IRI constraints (Algorithm 1); leaves are resolved
+    through the root's OTIL tries refined by their attribute sets only —
+    leaf IRI constraints belong to the leaf's own star, where they are
+    shard-local, and applying them here against a partial halo
+    neighbourhood could wrongly prune.
+
+    ``restrict`` carries the gather stage's semi-join frontier: for any
+    query vertex it maps, only the listed data vertices can still appear in
+    a complete solution, so anchors and leaf candidates outside it are
+    dropped eagerly instead of surviving until the join.
+    """
+    restrict = restrict or {}
+    matcher = MultigraphMatcher(engine.data, engine.indexes, engine.config)
+    candidates = matcher.initial_candidates(qgraph, star.root)
+    refined = matcher.vertex_candidates(qgraph.vertices[star.root])
+    if refined is not None:
+        candidates &= refined
+    root_restrict = restrict.get(star.root)
+    if root_restrict is not None:
+        candidates &= root_restrict
+    anchored = sorted(c for c in candidates if owner.get(c) == shard)
+    if not anchored:
+        return []
+
+    leaf_attributes = {
+        leaf: (
+            engine.indexes.attributes.candidates(qgraph.vertices[leaf].attributes)
+            if qgraph.vertices[leaf].attributes
+            else None
+        )
+        for leaf in star.leaves
+    }
+
+    matches: list[StarMatch] = []
+    for anchor in anchored:
+        deadline.check()
+        leaf_sets: list[frozenset[int]] = []
+        viable = True
+        for leaf in star.leaves:
+            found = matcher.neighbor_candidates(qgraph, star.root, anchor, leaf)
+            attribute_candidates = leaf_attributes[leaf]
+            if attribute_candidates is not None:
+                found &= attribute_candidates
+            leaf_restrict = restrict.get(leaf)
+            if leaf_restrict is not None:
+                found &= leaf_restrict
+            if not found:
+                viable = False
+                break
+            leaf_sets.append(frozenset(found))
+        if viable:
+            matches.append(StarMatch(anchor=anchor, leaves=tuple(leaf_sets)))
+    return matches

@@ -29,6 +29,22 @@ from ..sparql.algebra import SelectQuery, TriplePattern, Variable
 __all__ = ["WorkloadConfig", "GeneratedQuery", "WorkloadGenerator"]
 
 
+def _triple_sort_key(triple: Triple) -> tuple[str, str, str, str]:
+    """A total, hash-independent order over triples.
+
+    The type name disambiguates terms whose rendered text collides (an IRI
+    and a plain literal holding the same characters), keeping the order a
+    genuine total order on well-formed stores.
+    """
+    obj = triple.object
+    return (
+        str(triple.subject),
+        str(triple.predicate),
+        type(obj).__name__,
+        str(obj),
+    )
+
+
 @dataclass
 class WorkloadConfig:
     """Knobs controlling query generation.
@@ -76,9 +92,14 @@ class WorkloadGenerator:
         self.store = store
         self.config = config or WorkloadConfig()
         self._rng = random.Random(seed)
-        # Incidence lists: for every resource, the triples it participates in.
+        # Incidence lists: for every resource, the triples it participates
+        # in.  The store iterates a hash set, whose order changes with every
+        # process's PYTHONHASHSEED; sampling from such lists would make the
+        # generated workload — and with it the benchmark *structure* —
+        # drift across runs despite the explicit RNG seed.  Sorting the
+        # triples first makes generation a pure function of (store, seed).
         self._incident: dict[Term, list[Triple]] = defaultdict(list)
-        for triple in store:
+        for triple in sorted(store, key=_triple_sort_key):
             self._incident[triple.subject].append(triple)
             if isinstance(triple.object, (IRI, BlankNode)):
                 self._incident[triple.object].append(triple)

@@ -13,9 +13,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
-from ..storage import load_engine_auto
+from ..cluster import ShardedEngine
+from ..storage import MANIFEST_NAME, load_data_auto, load_engine_auto
 from .http import serve
 from .service import EngineService, ServiceConfig
 
@@ -73,6 +75,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "(default: %(default)s)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the dataset into N shards and answer queries with the "
+        "scatter-gather cluster engine; 1 serves the single-process engine "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        help="worker-pool size for per-shard star matching "
+        "(default: min(shards, cpu count))",
+    )
+    parser.add_argument(
+        "--shard-executor",
+        choices=("thread", "process", "serial"),
+        default="thread",
+        help="worker pool kind for the cluster engine (default: %(default)s)",
+    )
+    parser.add_argument(
         "--read-only",
         action="store_true",
         help="disable POST /update (the service answers queries only)",
@@ -82,8 +105,30 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 
 def build_service(args: argparse.Namespace) -> EngineService:
-    """Load the dataset named by ``args`` and wrap it in an EngineService."""
-    engine = load_engine_auto(args.dataset)
+    """Load the dataset named by ``args`` and wrap it in an EngineService.
+
+    ``--shards N`` (N > 1) re-partitions a single-engine dataset into the
+    scatter–gather cluster engine; a sharded snapshot directory is loaded
+    with its persisted shard count and only picks up the worker settings.
+    """
+    shards = getattr(args, "shards", 1)
+    dataset = Path(args.dataset)
+    if shards > 1 and not (dataset.is_dir() or dataset.name == MANIFEST_NAME):
+        # Partitioning indexes per shard; loading only the data multigraph
+        # skips the whole-graph index build that would be thrown away.
+        data, data_version = load_data_auto(dataset)
+        engine = ShardedEngine.build(
+            data,
+            shards,
+            workers=args.shard_workers,
+            executor=args.shard_executor,
+        )
+        engine.data_version = data_version
+    else:
+        engine = load_engine_auto(dataset)
+        if isinstance(engine, ShardedEngine):
+            engine.workers = args.shard_workers or engine.workers
+            engine.executor = args.shard_executor
     config = ServiceConfig(
         default_timeout_seconds=args.timeout if args.timeout > 0 else None,
         max_rows=args.max_rows if args.max_rows > 0 else None,

@@ -139,7 +139,11 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(503, "QueryTimeout", str(exc))
             return
         except ServiceOverloaded as exc:
-            self._send_error_json(503, "ServiceOverloaded", str(exc), retry_after=1)
+            # Retry-After tracks the median query latency: the sensible
+            # moment to retry is when in-flight work has likely drained.
+            self._send_error_json(
+                503, "ServiceOverloaded", str(exc), retry_after=service.retry_after_seconds("query")
+            )
             return
         except Exception as exc:  # pragma: no cover - defensive: keep the pool alive
             self._send_error_json(500, type(exc).__name__, str(exc))
@@ -161,7 +165,12 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(403, "ServiceReadOnly", str(exc))
             return
         except ServiceOverloaded as exc:
-            self._send_error_json(503, "ServiceOverloaded", str(exc), retry_after=1)
+            self._send_error_json(
+                503,
+                "ServiceOverloaded",
+                str(exc),
+                retry_after=service.retry_after_seconds("update"),
+            )
             return
         except (SparqlSyntaxError, UnsupportedQueryError, UpdateError, ValueError) as exc:
             self._send_error_json(400, type(exc).__name__, str(exc))

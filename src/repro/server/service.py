@@ -23,11 +23,11 @@ import time
 from dataclasses import dataclass
 
 from ..amber.engine import AmberEngine
-from ..amber.mutation import UpdateResult, load_triples
+from ..amber.mutation import UpdateResult, resolve_loads
 from ..errors import QueryTimeout, ReproError, UnsupportedQueryError
 from ..sparql.bindings import ResultSet
 from ..sparql.tokenizer import SparqlSyntaxError
-from ..sparql.update import InsertData, LoadData, UpdateRequest, parse_update
+from ..sparql.update import LoadData, UpdateRequest, parse_update
 from .cache import LRUCache
 from .rwlock import ReadWriteLock
 from .stats import LatencyRecorder
@@ -323,13 +323,7 @@ class EngineService:
         """
         if not any(isinstance(op, LoadData) for op in request.operations):
             return request
-        operations = tuple(
-            InsertData(load_triples(op, self.config.load_base_dir))
-            if isinstance(op, LoadData)
-            else op
-            for op in request.operations
-        )
-        return UpdateRequest(operations=operations)
+        return UpdateRequest(operations=resolve_loads(request, self.config.load_base_dir))
 
     def snapshot(self, path) -> int:
         """Persist a consistent snapshot of the (possibly mutated) engine.
@@ -363,6 +357,19 @@ class EngineService:
             raise ValueError("max rows must be positive")
         return min(requested, ceiling) if ceiling is not None else requested
 
+    def retry_after_seconds(self, kind: str = "query") -> int:
+        """Advisory ``Retry-After`` for admission-control rejections (503s).
+
+        Derived from the observed p50 latency of the rejected path: by the
+        median request's service time, capacity has likely freed up.  Floored
+        at one second — both because tighter client retry loops would defeat
+        the point of shedding load, and because an idle service has no
+        latency sample yet.
+        """
+        recorder = self.update_latency if kind == "update" else self.latency
+        p50 = recorder.percentile(0.50)
+        return max(1, math.ceil(p50)) if p50 is not None else 1
+
     def _admit(self) -> None:
         with self._lock:
             if self._counters.in_flight >= self.config.max_in_flight:
@@ -395,10 +402,24 @@ class EngineService:
         with self._rwlock.read_locked():
             engine_stats = self.engine.statistics()
             data_version = self.engine.data_version
-            signature_stale = self.engine.indexes.signatures.stale_count
+            # A sharded engine has no single index ensemble; it aggregates
+            # staleness across shards and reports per-shard figures.
+            if hasattr(self.engine, "signature_stale_total"):
+                signature_stale = self.engine.signature_stale_total()
+            else:
+                signature_stale = self.engine.indexes.signatures.stale_count
+            cluster = None
+            if hasattr(self.engine, "shard_stats"):
+                cluster = {
+                    "shards": self.engine.shard_count,
+                    "workers": self.engine.workers,
+                    "executor": self.engine.executor,
+                    "per_shard": self.engine.shard_stats(),
+                }
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "engine": engine_stats,
+            "cluster": cluster,
             "data_version": data_version,
             "build_report": report.as_dict() if report is not None else None,
             "queries": counters,

@@ -155,6 +155,61 @@ class TestOperationalEndpoints:
         assert "p50_seconds" in stats["latency"]
 
 
+class TestRetryAfter:
+    """Admission-control 503s advertise when to retry, from observed p50."""
+
+    @pytest.fixture()
+    def overloaded_server(self, paper_store):
+        engine = AmberEngine.from_store(paper_store)
+        config = ServiceConfig(max_in_flight=0, max_pending_updates=0)
+        service = EngineService(engine, config)
+        server = serve(service, host="127.0.0.1", port=0, workers=2, quiet=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    def _rejected(self, server, path, data=None):
+        url = server.url + path
+        request = urllib.request.Request(url, data=data)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        return excinfo.value
+
+    def test_query_rejection_has_retry_after_floor(self, overloaded_server):
+        error = self._rejected(
+            overloaded_server, "/sparql?" + urllib.parse.urlencode({"query": QUERY})
+        )
+        assert error.code == 503
+        assert error.headers["Retry-After"] == "1"
+
+    def test_update_rejection_has_retry_after(self, overloaded_server):
+        body = urllib.parse.urlencode(
+            {"update": "INSERT DATA { <http://e/s> <http://e/p> <http://e/o> }"}
+        ).encode()
+        error = self._rejected(overloaded_server, "/update", data=body)
+        assert error.code == 503
+        assert error.headers["Retry-After"] == "1"
+
+    def test_retry_after_tracks_observed_p50(self, overloaded_server):
+        service = overloaded_server.service
+        for seconds in (2.4, 2.4, 2.6):
+            service.latency.record(seconds)
+        error = self._rejected(
+            overloaded_server, "/sparql?" + urllib.parse.urlencode({"query": QUERY})
+        )
+        assert error.headers["Retry-After"] == "3"
+        for seconds in (4.2, 4.2, 4.8):
+            service.update_latency.record(seconds)
+        body = urllib.parse.urlencode(
+            {"update": "INSERT DATA { <http://e/s> <http://e/p> <http://e/o> }"}
+        ).encode()
+        error = self._rejected(overloaded_server, "/update", data=body)
+        assert error.headers["Retry-After"] == "5"
+
+
 class TestRequestLimits:
     def test_oversized_post_body_is_413(self, server):
         request = urllib.request.Request(

@@ -177,6 +177,66 @@ class TestLoadOperation:
         assert result.inserted == 1
 
 
+class TestLoadErrorPaths:
+    """LOAD failures must raise typed errors and leave no partial mutation."""
+
+    def _snapshot(self, engine):
+        return (
+            engine.data.triple_count,
+            engine.data_version,
+            set(engine.data.graph.edges()),
+        )
+
+    def test_missing_file_raises_update_error_without_mutation(self, engine, tmp_path, prefixes):
+        before = self._snapshot(engine)
+        with pytest.raises(UpdateError, match="LOAD"):
+            engine.apply_update(f"LOAD <file://{tmp_path}/absent.nt>")
+        assert self._snapshot(engine) == before
+
+    def test_unparseable_payload_raises_update_error_without_mutation(self, engine, tmp_path):
+        garbled = tmp_path / "garbled.nt"
+        garbled.write_text("<http://e/s> not-ntriples-at-all\n", encoding="utf-8")
+        before = self._snapshot(engine)
+        with pytest.raises(UpdateError, match="LOAD"):
+            engine.apply_update(f"LOAD <file://{garbled}>")
+        assert self._snapshot(engine) == before
+
+    def test_unknown_format_raises_update_error(self, engine, tmp_path):
+        payload = tmp_path / "data.xml"
+        payload.write_text("<rdf/>", encoding="utf-8")
+        with pytest.raises(UpdateError, match="format"):
+            engine.apply_update(f"LOAD <file://{payload}>")
+
+    def test_failing_load_aborts_the_whole_chain(self, engine, prefixes, tmp_path):
+        """Operations preceding a failing LOAD must not be half-applied."""
+        before = self._snapshot(engine)
+        update = (
+            prefixes
+            + "INSERT DATA { x:A y:isPartOf x:B } ; "
+            + f"LOAD <file://{tmp_path}/absent.nt>"
+        )
+        with pytest.raises(UpdateError):
+            engine.apply_update(update)
+        assert self._snapshot(engine) == before
+
+    def test_read_only_service_rejects_load_without_mutation(self, engine, tmp_path):
+        from repro.server import EngineService, ServiceConfig, ServiceReadOnly
+
+        extra = tmp_path / "extra.nt"
+        extra.write_text(f"<{E}s1> <{E}p> <{E}o1> .\n", encoding="utf-8")
+        service = EngineService(engine, ServiceConfig(read_only=True))
+        before = self._snapshot(engine)
+        with pytest.raises(ServiceReadOnly):
+            service.update(f"LOAD <file://{extra}>")
+        assert self._snapshot(engine) == before
+
+    def test_silent_failure_does_not_bump_data_version(self, engine, tmp_path):
+        before = self._snapshot(engine)
+        result = engine.apply_update(f"LOAD SILENT <file://{tmp_path}/absent.nt>")
+        assert result.inserted == 0 and not result.changed
+        assert self._snapshot(engine) == before
+
+
 class TestCompaction:
     def test_rtree_compacts_and_stays_exact_under_churn(self, prefixes):
         engine = AmberEngine.from_turtle("@prefix x: <http://e/> . x:a x:p x:b .")
