@@ -1,0 +1,129 @@
+"""Micro-benchmark: the pattern-algebra layer must not tax plain BGPs.
+
+The FILTER/UNION/OPTIONAL support added an indirection to the online
+path: ``prepare()`` now dispatches between a plain query multigraph and
+an :class:`~repro.amber.engine.AlgebraPlan`, and ``query()`` between the
+matcher stream and the compositional evaluator.  These tests pin down
+that cost:
+
+* conventional pytest-benchmark timings of the plain-BGP path (parse
+  cold / plan-cache warm) for the perf trajectory;
+* a guard asserting a plain BGP answered through the dispatch is not
+  measurably slower than the raw matcher stream it wraps;
+* a guard asserting the single-block algebra path (the same BGP wrapped
+  in a redundant ``{ { ... } }`` group) stays within a small factor of
+  the plain path — the evaluator's overhead is one solver call plus a
+  list materialisation.
+
+Relative assertions only: absolute numbers vary across runners, ratios
+between two measurements taken in the same process do not (much).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import AmberEngine
+from repro.datasets import WorkloadGenerator, YagoGenerator
+from repro.server.cache import LRUCache
+
+#: min-of-N repetitions used by the ratio guards; the minimum of enough
+#: rounds is a stable location statistic even on noisy CI runners.
+ROUNDS = 60
+
+
+@pytest.fixture(scope="module")
+def store():
+    return YagoGenerator(persons=300, cities=30, seed=3).store()
+
+
+@pytest.fixture(scope="module")
+def engine(store) -> AmberEngine:
+    engine = AmberEngine.from_store(store)
+    engine.plan_cache = LRUCache(64)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def star_query(store) -> str:
+    # str() round-trips through the parser, and text is what exercises the
+    # plan cache (plans are keyed by the exact query string).
+    return str(WorkloadGenerator(store, seed=11).star_query(5).query)
+
+
+def _wrap_single_block(query: str) -> str:
+    """The same BGP inside a redundant group: forces the algebra path."""
+    head, _, rest = query.partition("{")
+    body, _, tail = rest.rpartition("}")
+    return f"{head}{{ {{ {body} }} }}{tail}"
+
+
+def _min_seconds(callable_, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_plain_bgp_query_warm_cache(benchmark, engine, star_query):
+    """Plan-cache-hit latency of a 5-pattern star (the paper's hot path)."""
+    engine.query(star_query)  # warm the cache
+    result = benchmark(lambda: engine.query(star_query))
+    assert len(result) >= 1
+
+
+def test_plain_bgp_prepare_cold(benchmark, engine, star_query):
+    """Parse + query-multigraph construction without the plan cache."""
+    plan = benchmark(lambda: engine.prepare(star_query, use_cache=False))
+    assert plan[0].where is None
+
+
+def test_single_block_algebra_query_warm_cache(benchmark, engine, star_query):
+    """The same star answered through the algebra evaluator."""
+    wrapped = _wrap_single_block(star_query)
+    engine.query(wrapped)
+    result = benchmark(lambda: engine.query(wrapped))
+    assert len(result) >= 1
+
+
+def test_dispatch_does_not_regress_plain_bgp(engine, star_query):
+    """query() (with dispatch) vs the raw pre-algebra matcher stream."""
+    parsed, qgraph = engine.prepare(star_query)
+    reference = engine.query(star_query)
+
+    def raw_path():
+        rows = engine._iter_solutions(parsed, qgraph, None, None)
+        return len(list(rows))
+
+    def dispatched():
+        return len(engine.query(star_query))
+
+    assert dispatched() == raw_path() == len(reference)
+    raw = _min_seconds(raw_path)
+    full = _min_seconds(dispatched)
+    # The full path adds a cache probe, the plan-type dispatch and the
+    # ResultSet projection — allow 50% + a fixed floor for timer noise.
+    assert full <= raw * 1.5 + 0.002, (
+        f"plain-BGP dispatch overhead regressed: raw={raw * 1e6:.0f}us "
+        f"full={full * 1e6:.0f}us"
+    )
+
+
+def test_single_block_algebra_overhead_bounded(engine, star_query):
+    """A redundant { { BGP } } must stay within a small factor of the BGP."""
+    wrapped = _wrap_single_block(star_query)
+    plain_result = engine.query(star_query)
+    wrapped_result = engine.query(wrapped)
+    assert wrapped_result.same_multiset(plain_result)
+
+    plain = _min_seconds(lambda: engine.query(star_query))
+    algebra = _min_seconds(lambda: engine.query(wrapped))
+    # One extra solver hop plus materialising the block's row list.
+    assert algebra <= plain * 3.0 + 0.002, (
+        f"single-block algebra overhead too high: plain={plain * 1e6:.0f}us "
+        f"algebra={algebra * 1e6:.0f}us"
+    )

@@ -25,8 +25,9 @@ from ..rdf.dataset import TripleStore
 from ..rdf.ntriples import parse_ntriples, parse_ntriples_file
 from ..rdf.terms import Triple
 from ..rdf.turtle import parse_turtle
-from ..sparql.algebra import SelectQuery
+from ..sparql.algebra import GroupGraphPattern, SelectQuery
 from ..sparql.bindings import Binding, ResultSet
+from ..sparql.eval import BGPNode, compile_pattern, stream_plan
 from ..sparql.parser import parse_sparql
 from ..sparql.update import UpdateRequest, parse_update
 from ..timing import Deadline
@@ -35,6 +36,7 @@ from .matching import MatcherConfig, MultigraphMatcher, QueryTimeout
 from .mutation import GraphMutator, UpdateResult
 
 __all__ = [
+    "AlgebraPlan",
     "AmberEngine",
     "BuildReport",
     "PlanCache",
@@ -43,9 +45,38 @@ __all__ = [
     "QueryTimeout",
 ]
 
-#: A prepared plan: the parsed query plus its query multigraph.  Both parts
+
+class AlgebraPlan:
+    """A prepared FILTER/UNION/OPTIONAL query: plan tree + per-block state.
+
+    Each BGP block of the compiled pattern gets its own synthetic plain-BGP
+    :class:`SelectQuery` and :class:`QueryMultigraph`, built against the
+    engine's dictionaries at prepare time — exactly the state the engine's
+    matcher needs to solve the block through its ordinary (star-decomposed,
+    or scatter–gathered) component machinery.  Like plain-BGP plans, an
+    AlgebraPlan is immutable after construction and embeds dictionary ids,
+    so the plan cache invalidation on mutation covers it too.
+    """
+
+    __slots__ = ("root", "blocks", "block_queries", "block_graphs")
+
+    def __init__(self, where: GroupGraphPattern, data) -> None:
+        compiled = compile_pattern(where)
+        self.root = compiled.root
+        self.blocks = compiled.blocks
+        self.block_queries = [SelectQuery(patterns=block.patterns) for block in self.blocks]
+        self.block_graphs = [build_query_multigraph(query, data) for query in self.block_queries]
+
+    def block_plan(self, block: BGPNode) -> tuple[SelectQuery, QueryMultigraph]:
+        """Return the prepared (query, multigraph) pair of one BGP block."""
+        return self.block_queries[block.index], self.block_graphs[block.index]
+
+
+#: A prepared plan: the parsed query plus either its query multigraph (the
+#: plain-BGP fast path, byte-identical to the pre-algebra engine) or an
+#: :class:`AlgebraPlan` for the FILTER/UNION/OPTIONAL fragment.  Both parts
 #: are immutable after construction, so a plan can be shared across threads.
-QueryPlan = tuple[SelectQuery, QueryMultigraph]
+QueryPlan = tuple[SelectQuery, QueryMultigraph | AlgebraPlan]
 
 
 class PlanCache(Protocol):
@@ -98,7 +129,8 @@ class QueryEngineBase:
     and ``self.data_version``, plus the :meth:`_component_rows` hook that
     streams the bindings of one connected query component.  Everything
     else — plan preparation/caching, solution streaming, DISTINCT/LIMIT/
-    OFFSET-aware counting, cross-products of disconnected components and
+    OFFSET-aware counting, cross-products of disconnected components,
+    FILTER/UNION/OPTIONAL evaluation over per-block plans and
     cache invalidation on mutation — lives here, so the single-process
     :class:`AmberEngine` and the scatter–gather
     :class:`repro.cluster.ShardedEngine` answer queries through exactly
@@ -115,12 +147,13 @@ class QueryEngineBase:
     # ------------------------------------------------------------------ #
     # online stage
     # ------------------------------------------------------------------ #
-    def prepare(
-        self, query: str | SelectQuery, use_cache: bool = True
-    ) -> tuple[SelectQuery, QueryMultigraph]:
-        """Parse (if needed) and transform a query into its query multigraph.
+    def prepare(self, query: str | SelectQuery, use_cache: bool = True) -> QueryPlan:
+        """Parse (if needed) and prepare a query for matching.
 
-        When a :attr:`plan_cache` is installed and ``query`` is a string, the
+        A plain-BGP query prepares to its query multigraph exactly as
+        before; a FILTER/UNION/OPTIONAL query prepares to an
+        :class:`AlgebraPlan` holding one multigraph per BGP block.  When a
+        :attr:`plan_cache` is installed and ``query`` is a string, the
         prepared plan is memoised keyed by the exact query text.  Plans are
         read-only during matching, so cached plans may be shared by threads.
         """
@@ -131,11 +164,16 @@ class QueryEngineBase:
                 if plan is not None:
                     return plan
             parsed = parse_sparql(query)
-            plan = (parsed, build_query_multigraph(parsed, self.data))
+            plan = (parsed, self._prepare_parsed(parsed))
             if cache is not None:
                 cache.put(query, plan)
             return plan
-        return query, build_query_multigraph(query, self.data)
+        return query, self._prepare_parsed(query)
+
+    def _prepare_parsed(self, parsed: SelectQuery) -> QueryMultigraph | AlgebraPlan:
+        if parsed.where is not None:
+            return AlgebraPlan(parsed.where, self.data)
+        return build_query_multigraph(parsed, self.data)
 
     def query(
         self,
@@ -148,8 +186,8 @@ class QueryEngineBase:
         ``timeout_seconds`` overrides the engine-level matcher timeout;
         :class:`QueryTimeout` is raised when it is exceeded.
         """
-        parsed, qgraph = self.prepare(query)
-        rows = self._iter_solutions(parsed, qgraph, timeout_seconds, max_solutions)
+        parsed, plan = self.prepare(query)
+        rows = self._solutions(parsed, plan, timeout_seconds, max_solutions)
         return ResultSet.for_query(parsed, rows)
 
     def count(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> int:
@@ -160,7 +198,7 @@ class QueryEngineBase:
         ``query()`` — including the engine-level ``max_solutions`` cap, which
         bounds the solution stream before the modifiers apply.
         """
-        parsed, qgraph = self.prepare(query)
+        parsed, plan = self.prepare(query)
         limit, offset = parsed.limit, parsed.offset or 0
         # Rows of the (capped) stream needed to answer exactly; None = all.
         needed = None if limit is None else offset + limit
@@ -170,7 +208,7 @@ class QueryEngineBase:
             # the row list itself is never built.
             variables = parsed.answer_variables()
             seen: set[Binding] = set()
-            for row in self._iter_solutions(parsed, qgraph, timeout_seconds, None):
+            for row in self._solutions(parsed, plan, timeout_seconds, None):
                 seen.add(row.project(variables))
                 if needed is not None and len(seen) >= needed:
                     break
@@ -180,7 +218,7 @@ class QueryEngineBase:
             # cap (query() applies the cap first, then slices LIMIT/OFFSET).
             stream_cap = needed if needed is not None and (cap is None or needed < cap) else None
             total = 0
-            for _ in self._iter_solutions(parsed, qgraph, timeout_seconds, stream_cap):
+            for _ in self._solutions(parsed, plan, timeout_seconds, stream_cap):
                 total += 1
                 if needed is not None and total >= needed:
                     break
@@ -189,8 +227,8 @@ class QueryEngineBase:
 
     def ask(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> bool:
         """Return True when the query has at least one solution."""
-        parsed, qgraph = self.prepare(query)
-        for _ in self._iter_solutions(parsed, qgraph, timeout_seconds, 1):
+        parsed, plan = self.prepare(query)
+        for _ in self._solutions(parsed, plan, timeout_seconds, 1):
             return True
         return False
 
@@ -227,12 +265,61 @@ class QueryEngineBase:
         """Stream the bindings of one connected component (subclass hook)."""
         raise NotImplementedError
 
+    def _solutions(
+        self,
+        parsed: SelectQuery,
+        plan: QueryMultigraph | AlgebraPlan,
+        timeout_seconds: float | None,
+        max_solutions: int | None,
+    ) -> Iterator[Binding]:
+        """Stream the solutions of a prepared plan (BGP or algebra)."""
+        if isinstance(plan, AlgebraPlan):
+            return self._iter_algebra(plan, timeout_seconds, max_solutions)
+        return self._iter_solutions(parsed, plan, timeout_seconds, max_solutions)
+
+    def _iter_algebra(
+        self,
+        plan: AlgebraPlan,
+        timeout_seconds: float | None,
+        max_solutions: int | None,
+    ) -> Iterator[Binding]:
+        """Evaluate a FILTER/UNION/OPTIONAL plan over the BGP matcher.
+
+        Every BGP block streams through :meth:`_iter_solutions` — the same
+        star-decomposition (or scatter–gather) machinery as a standalone
+        query — under one shared deadline; block multisets combine via the
+        operators in :mod:`repro.sparql.eval`.  The engine row cap applies
+        to the final combined solutions; blocks only inherit the engine's
+        configured guard cap, because truncating an operand multiset would
+        change join results rather than merely bounding them.
+        """
+        effective_timeout = (
+            timeout_seconds if timeout_seconds is not None else self.config.timeout_seconds
+        )
+        effective_limit = (
+            max_solutions if max_solutions is not None else self.config.max_solutions
+        )
+        deadline = Deadline(effective_timeout)
+
+        def solve_block(block) -> Iterator[Binding]:
+            query, qgraph = plan.block_plan(block)
+            return self._iter_solutions(query, qgraph, timeout_seconds, None, deadline)
+
+        emitted = 0
+        for row in stream_plan(plan.root, solve_block, deadline):
+            deadline.check()
+            yield row
+            emitted += 1
+            if effective_limit is not None and emitted >= effective_limit:
+                return
+
     def _iter_solutions(
         self,
         parsed: SelectQuery,
         qgraph: QueryMultigraph,
         timeout_seconds: float | None,
         max_solutions: int | None,
+        deadline: Deadline | None = None,
     ) -> Iterator[Binding]:
         """Stream solution bindings under the shared deadline and row cap."""
         if qgraph.unsatisfiable or any(v.unsatisfiable for v in qgraph.vertices.values()):
@@ -245,8 +332,10 @@ class QueryEngineBase:
         )
         # One deadline shared by the matching of every component and by the
         # embedding expansion below, so unselective queries whose Cartesian
-        # product explodes still honour the time budget.
-        deadline = Deadline(effective_timeout)
+        # product explodes still honour the time budget.  An algebra plan
+        # passes its own deadline in, shared by every one of its BGP blocks.
+        if deadline is None:
+            deadline = Deadline(effective_timeout)
 
         components = qgraph.connected_components()
         if not components:

@@ -24,6 +24,7 @@ from typing import Iterable, Iterator
 from ..rdf.dataset import TripleStore
 from ..sparql.algebra import SelectQuery
 from ..sparql.bindings import Binding, ResultSet
+from ..sparql.eval import compile_pattern, stream_plan
 from ..sparql.parser import parse_sparql
 from ..timing import Deadline
 
@@ -31,7 +32,14 @@ __all__ = ["BaselineEngine", "Deadline"]
 
 
 class BaselineEngine(ABC):
-    """Template for baseline engines: parse, evaluate, project."""
+    """Template for baseline engines: parse, evaluate, project.
+
+    Subclasses implement plain-BGP evaluation only (:meth:`_evaluate`);
+    FILTER / UNION / OPTIONAL queries are handled here by compiling the
+    pattern tree and solving each BGP block through the subclass — the
+    same compositional evaluator the multigraph engines use, so every
+    engine in the repository answers the full fragment.
+    """
 
     #: Human-readable engine name used in benchmark reports.
     name = "baseline"
@@ -52,7 +60,15 @@ class BaselineEngine(ABC):
         """Answer a SPARQL SELECT query, honouring an optional timeout."""
         parsed = parse_sparql(query) if isinstance(query, str) else query
         deadline = Deadline(timeout_seconds)
-        rows = self._evaluate(parsed, deadline)
+        if parsed.where is not None:
+            compiled = compile_pattern(parsed.where)
+
+            def solve_block(block) -> Iterable[Binding]:
+                return self._evaluate(SelectQuery(patterns=block.patterns), deadline)
+
+            rows: Iterable[Binding] = stream_plan(compiled.root, solve_block, deadline)
+        else:
+            rows = self._evaluate(parsed, deadline)
         if max_solutions is not None:
             rows = _take(rows, max_solutions)
         return ResultSet.for_query(parsed, rows)

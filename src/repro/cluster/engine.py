@@ -16,8 +16,17 @@ query/count/prepare API over N shards produced by
    vertices (smallest-first, connectivity-aware order) and private
    satellite sets stay factored until the final embedding expansion.
 
+FILTER / UNION / OPTIONAL queries run per *BGP block*: the shared
+:class:`~repro.amber.engine.QueryEngineBase` algebra path scatters each
+block of the compiled pattern through steps 1–3 above (one scatter–gather
+round per block, all under one deadline) and combines the block solution
+multisets with the engine-independent operators of
+:mod:`repro.sparql.eval` at the gather side — so the cluster serves the
+full fragment with the same per-star parallelism as a conjunctive query.
+
 The result multiset is identical to a single ``AmberEngine`` on the same
-data — the property tests assert this over arbitrary update interleavings.
+data — the property and differential tests assert this over arbitrary
+update interleavings.
 
 Thread safety matches the single engine: queries may run concurrently, but
 mutations require the caller to exclude readers (the query service wraps

@@ -4,7 +4,9 @@ Implements the subset of the W3C SPARQL 1.1 Protocol that matches the
 engine's SELECT/UPDATE fragments:
 
 * ``GET /sparql?query=...`` and ``POST /sparql`` (urlencoded form or raw
-  ``application/sparql-query`` body) answer queries;
+  ``application/sparql-query`` body) answer SELECT queries over the full
+  supported fragment — basic graph patterns composed with FILTER, UNION
+  and OPTIONAL (the ``sparql_fragment`` field of ``/stats`` lists it);
 * ``POST /update`` (urlencoded ``update=`` form or raw
   ``application/sparql-update`` body) applies INSERT DATA / DELETE DATA /
   LOAD under the service's writer lock and returns the mutation counts;

@@ -33,6 +33,7 @@ from .rwlock import ReadWriteLock
 from .stats import LatencyRecorder
 
 __all__ = [
+    "SPARQL_FRAGMENT",
     "ServiceConfig",
     "ServiceOverloaded",
     "ServiceReadOnly",
@@ -40,6 +41,21 @@ __all__ = [
     "UpdateResponse",
     "EngineService",
 ]
+
+#: The SELECT fragment every engine behind this service answers, surfaced by
+#: ``/stats`` so clients can discover capabilities without probing with
+#: queries.  UPDATE coverage is reported separately under ``updates``.
+SPARQL_FRAGMENT = (
+    "SELECT",
+    "DISTINCT",
+    "LIMIT",
+    "OFFSET",
+    "FILTER",
+    "UNION",
+    "OPTIONAL",
+    "BOUND",
+    "REGEX",
+)
 
 
 class ServiceOverloaded(ReproError):
@@ -442,4 +458,5 @@ class EngineService:
                 "max_rows": self.config.max_rows,
                 "max_in_flight": self.config.max_in_flight,
             },
+            "sparql_fragment": list(SPARQL_FRAGMENT),
         }

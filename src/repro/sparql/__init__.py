@@ -1,7 +1,28 @@
-"""SPARQL SELECT/WHERE substrate: algebra, parser and result bindings."""
+"""SPARQL SELECT/WHERE substrate: algebra, parser, evaluator and bindings."""
 
-from .algebra import PatternTerm, SelectQuery, TriplePattern, Variable
+from .algebra import (
+    Filter,
+    GroupGraphPattern,
+    OptionalPattern,
+    PatternElement,
+    PatternTerm,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+    Variable,
+)
 from .bindings import Binding, ResultSet
+from .eval import CompiledPattern, compile_pattern, evaluate_plan
+from .expressions import (
+    And,
+    Bound,
+    Comparison,
+    Expression,
+    ExpressionError,
+    Not,
+    Or,
+    Regex,
+)
 from .parser import SparqlParser, SparqlSyntaxError, parse_sparql
 from .tokenizer import Token, tokenize
 from .update import (
@@ -17,10 +38,26 @@ from .update import (
 __all__ = [
     "Variable",
     "PatternTerm",
+    "PatternElement",
     "TriplePattern",
+    "GroupGraphPattern",
+    "UnionPattern",
+    "OptionalPattern",
+    "Filter",
     "SelectQuery",
     "Binding",
     "ResultSet",
+    "CompiledPattern",
+    "compile_pattern",
+    "evaluate_plan",
+    "Expression",
+    "ExpressionError",
+    "And",
+    "Or",
+    "Not",
+    "Bound",
+    "Comparison",
+    "Regex",
     "SparqlParser",
     "SparqlSyntaxError",
     "parse_sparql",

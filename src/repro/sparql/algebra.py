@@ -1,19 +1,37 @@
-"""SPARQL algebra objects for the SELECT/WHERE fragment used by the paper.
+"""SPARQL algebra objects for the SELECT/WHERE fragment.
 
-A query is a :class:`SelectQuery` over a basic graph pattern (a list of
-:class:`TriplePattern`).  Each pattern component is either a
-:class:`Variable` or a concrete RDF term (IRI / Literal); predicates are
-always IRIs, matching Section 2.2 of the paper.
+A query is a :class:`SelectQuery`.  The paper's fragment (Section 2.2) is
+a single basic graph pattern — a list of :class:`TriplePattern` — and
+stays represented exactly that way (``where is None``), so the BGP fast
+path is untouched.  The extended FILTER / UNION / OPTIONAL fragment adds
+a compositional pattern tree rooted at a :class:`GroupGraphPattern`:
+group elements are triple patterns, :class:`UnionPattern` /
+:class:`OptionalPattern` sub-patterns and :class:`Filter` constraints.
+Each pattern component is either a :class:`Variable` or a concrete RDF
+term (IRI / Literal); predicates are always IRIs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 from ..rdf.terms import IRI, Literal, Term
 
-__all__ = ["Variable", "PatternTerm", "TriplePattern", "SelectQuery"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (expressions -> algebra)
+    from .expressions import Expression
+
+__all__ = [
+    "Filter",
+    "GroupGraphPattern",
+    "OptionalPattern",
+    "PatternElement",
+    "PatternTerm",
+    "SelectQuery",
+    "TriplePattern",
+    "UnionPattern",
+    "Variable",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,6 +89,87 @@ class TriplePattern:
         return f"{fmt(self.subject)} {self.predicate.n3()} {fmt(self.object)} ."
 
 
+@dataclass(frozen=True, slots=True)
+class Filter:
+    """A ``FILTER`` constraint scoped to the group that contains it."""
+
+    expression: "Expression"
+
+    def __str__(self) -> str:
+        return f"FILTER({self.expression})"
+
+
+@dataclass(frozen=True, slots=True)
+class GroupGraphPattern:
+    """One ``{ ... }`` group: an ordered list of pattern elements.
+
+    Elements are evaluated with SPARQL group semantics: triple patterns
+    and sub-patterns join left-to-right (``OPTIONAL`` left-joins against
+    everything accumulated so far) and the group's ``FILTER`` constraints
+    apply to the joined result of the whole group.
+    """
+
+    elements: tuple["PatternElement", ...]
+
+    def is_basic(self) -> bool:
+        """True when the group is a plain BGP (triple patterns only)."""
+        return all(isinstance(element, TriplePattern) for element in self.elements)
+
+    def triple_patterns(self) -> list[TriplePattern]:
+        """Every triple pattern of the tree, in syntactic order."""
+        found: list[TriplePattern] = []
+        for element in self.elements:
+            if isinstance(element, TriplePattern):
+                found.append(element)
+            elif isinstance(element, GroupGraphPattern):
+                found.extend(element.triple_patterns())
+            elif isinstance(element, UnionPattern):
+                for branch in element.branches:
+                    found.extend(branch.triple_patterns())
+            elif isinstance(element, OptionalPattern):
+                found.extend(element.pattern.triple_patterns())
+        return found
+
+    def filters(self) -> list[Filter]:
+        """The group's own (top-level) filter constraints, in order."""
+        return [element for element in self.elements if isinstance(element, Filter)]
+
+    def __str__(self) -> str:
+        return "{ " + " ".join(_element_str(element) for element in self.elements) + " }"
+
+
+@dataclass(frozen=True, slots=True)
+class UnionPattern:
+    """``{ A } UNION { B } [UNION { C } ...]`` — a solution multiset union."""
+
+    branches: tuple[GroupGraphPattern, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.branches) < 2:
+            raise ValueError("a UNION needs at least two branches")
+
+    def __str__(self) -> str:
+        return " UNION ".join(str(branch) for branch in self.branches)
+
+
+@dataclass(frozen=True, slots=True)
+class OptionalPattern:
+    """``OPTIONAL { ... }`` — left-joined against the preceding group part."""
+
+    pattern: GroupGraphPattern
+
+    def __str__(self) -> str:
+        return f"OPTIONAL {self.pattern}"
+
+
+#: Anything that may appear as one element of a group graph pattern.
+PatternElement = Union[TriplePattern, GroupGraphPattern, UnionPattern, OptionalPattern, Filter]
+
+
+def _element_str(element: PatternElement) -> str:
+    return str(element)
+
+
 @dataclass(slots=True)
 class SelectQuery:
     """A SPARQL ``SELECT ... WHERE { ... }`` query.
@@ -78,6 +177,13 @@ class SelectQuery:
     ``projection`` lists the variables to return; an empty projection means
     ``SELECT *`` (all variables of the pattern).  ``distinct``, ``limit``
     and ``offset`` mirror the corresponding solution modifiers.
+
+    ``patterns`` always holds every triple pattern of the query in
+    syntactic order (the helpers below and the query-multigraph builder
+    iterate it).  For the paper's conjunctive fragment it *is* the query
+    and ``where`` stays ``None``; when the WHERE clause uses FILTER /
+    UNION / OPTIONAL, ``where`` holds the compositional pattern tree that
+    the evaluator executes instead.
     """
 
     patterns: list[TriplePattern]
@@ -85,6 +191,7 @@ class SelectQuery:
     distinct: bool = False
     limit: int | None = None
     offset: int | None = None
+    where: GroupGraphPattern | None = None
 
     def variables(self) -> list[Variable]:
         """Return pattern variables in first-appearance order."""
@@ -116,8 +223,11 @@ class SelectQuery:
         if self.distinct:
             head += "DISTINCT "
         head += " ".join(str(v) for v in self.projection) if self.projection else "*"
-        body = "\n  ".join(str(p) for p in self.patterns)
         tail = f"\nLIMIT {self.limit}" if self.limit is not None else ""
         if self.offset is not None:
             tail += f"\nOFFSET {self.offset}"
+        if self.where is not None:
+            body = " ".join(_element_str(element) for element in self.where.elements)
+            return f"{head} WHERE {{ {body} }}{tail}"
+        body = "\n  ".join(str(p) for p in self.patterns)
         return f"{head} WHERE {{\n  {body}\n}}{tail}"

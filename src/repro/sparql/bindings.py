@@ -10,6 +10,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+from collections import Counter
 from typing import Iterable, Iterator, Mapping
 
 from ..rdf.terms import BlankNode, IRI, Literal, Term
@@ -132,9 +133,21 @@ class ResultSet:
         """Return the rows as a set (for order-insensitive comparison)."""
         return frozenset(self.rows)
 
+    def as_multiset(self) -> Counter:
+        """Return the rows as a multiset (rows with their multiplicities).
+
+        UNION and OPTIONAL can produce genuinely duplicated solutions, so
+        the differential harness compares engines on multisets, not sets.
+        """
+        return Counter(self.rows)
+
     def same_solutions(self, other: "ResultSet") -> bool:
         """Return True when both result sets contain the same solution rows."""
         return self.as_set() == other.as_set()
+
+    def same_multiset(self, other: "ResultSet") -> bool:
+        """Return True when both result sets agree row-for-row (with counts)."""
+        return self.as_multiset() == other.as_multiset()
 
     # ------------------------------------------------------------------ #
     # W3C result formats (used by the SPARQL protocol service)

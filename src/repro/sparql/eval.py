@@ -1,0 +1,360 @@
+"""Compositional evaluation of the FILTER / UNION / OPTIONAL fragment.
+
+The evaluator splits a :class:`~.algebra.GroupGraphPattern` tree into
+*BGP blocks* — maximal runs of triple patterns — and delegates each block
+to an engine-provided solver (AMbER's star-decomposition matcher, the
+cluster's scatter–gather, or a baseline's own BGP evaluation).  The block
+solution multisets are then combined here, engine-independently, with the
+SPARQL 1.1 algebra operators:
+
+* **Join** — compatible-merge of binding multisets (one side bucketed
+  on its certainly-bound variables, the other streamed past it);
+* **Union** — multiset concatenation of branch solutions;
+* **LeftJoin** — ``OPTIONAL`` semantics, including a join condition when
+  the optional group ends in top-level filters (spec section 18.2.2.5);
+* **Filter** — error-is-false effective-boolean-value filtering.
+
+Filters placed in a group whose variables are all bound by one of the
+group's own BGP blocks are *pushed down* into that block
+(:attr:`BGPNode.filters`): the engine then prunes candidate rows as they
+stream out of the matcher, before any join materialises them.  Pushing
+into ``OPTIONAL`` or ``UNION`` sub-patterns would change semantics
+(an unbound-variable error must drop the whole group row, not just the
+optional match), so those filters stay at group level.
+
+Everything here works on :class:`~.bindings.Binding` multisets; the only
+engine contract is the ``solver(BGPNode) -> Iterable[Binding]`` callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Union
+
+from .algebra import (
+    Filter,
+    GroupGraphPattern,
+    OptionalPattern,
+    TriplePattern,
+    UnionPattern,
+    Variable,
+)
+from .bindings import Binding
+from .expressions import And, Expression, expression_variables, filter_passes
+from ..timing import Deadline
+
+__all__ = [
+    "BGPNode",
+    "CompiledPattern",
+    "EmptyNode",
+    "FilterNode",
+    "JoinNode",
+    "LeftJoinNode",
+    "PlanNode",
+    "UnionNode",
+    "compile_pattern",
+    "evaluate_plan",
+    "stream_plan",
+]
+
+#: Solves one BGP block: maps a :class:`BGPNode` to its solution multiset.
+BGPSolver = Callable[["BGPNode"], Iterable[Binding]]
+
+
+@dataclass
+class BGPNode:
+    """One maximal run of triple patterns, solved by the engine's matcher.
+
+    ``filters`` holds the group filters pushed down into this block: every
+    one of their variables is bound by the block's own patterns, so rows
+    are pruned right as the matcher streams them.  ``index`` identifies
+    the block inside its compiled plan (engines key per-block prepared
+    state — e.g. the query multigraph — by it).
+    """
+
+    patterns: list[TriplePattern]
+    filters: list[Expression] = field(default_factory=list)
+    index: int = -1
+
+    def variables(self) -> set[Variable]:
+        found: set[Variable] = set()
+        for pattern in self.patterns:
+            found |= pattern.variables()
+        return found
+
+
+@dataclass
+class JoinNode:
+    """Join of two operands (SPARQL multiset join via compatible merge)."""
+
+    left: "PlanNode"
+    right: "PlanNode"
+
+
+@dataclass
+class UnionNode:
+    """Multiset union of the branch solutions."""
+
+    branches: list["PlanNode"]
+
+
+@dataclass
+class LeftJoinNode:
+    """``OPTIONAL``: left-join with an optional join condition."""
+
+    left: "PlanNode"
+    right: "PlanNode"
+    condition: Expression | None = None
+
+
+@dataclass
+class FilterNode:
+    """Group-level filters over the child's solutions (error-is-false)."""
+
+    child: "PlanNode"
+    conditions: list[Expression]
+
+
+@dataclass
+class EmptyNode:
+    """The empty group: the join identity — exactly one empty binding."""
+
+
+PlanNode = Union[BGPNode, JoinNode, UnionNode, LeftJoinNode, FilterNode, EmptyNode]
+
+
+@dataclass
+class CompiledPattern:
+    """A compiled pattern tree plus its BGP blocks in plan-index order."""
+
+    root: PlanNode
+    blocks: list[BGPNode]
+
+
+# --------------------------------------------------------------------------- #
+# compilation (SPARQL 18.2.2: translate graph patterns)
+# --------------------------------------------------------------------------- #
+def compile_pattern(group: GroupGraphPattern) -> CompiledPattern:
+    """Translate a group tree into a plan with indexed BGP blocks."""
+    blocks: list[BGPNode] = []
+    root = _compile_group(group, blocks)
+    for index, block in enumerate(blocks):
+        block.index = index
+    return CompiledPattern(root, blocks)
+
+
+def _compile_group(group: GroupGraphPattern, blocks: list[BGPNode]) -> PlanNode:
+    current: PlanNode = EmptyNode()
+    own_blocks: list[BGPNode] = []
+    filters: list[Expression] = []
+    run: list[TriplePattern] = []
+
+    def flush_run() -> None:
+        nonlocal current
+        if run:
+            block = BGPNode(patterns=list(run))
+            blocks.append(block)
+            own_blocks.append(block)
+            current = _join(current, block)
+            run.clear()
+
+    for element in group.elements:
+        if isinstance(element, TriplePattern):
+            run.append(element)
+        elif isinstance(element, Filter):
+            filters.append(element.expression)
+        elif isinstance(element, GroupGraphPattern):
+            flush_run()
+            current = _join(current, _compile_group(element, blocks))
+        elif isinstance(element, UnionPattern):
+            flush_run()
+            branches = [_compile_group(branch, blocks) for branch in element.branches]
+            current = _join(current, UnionNode(branches))
+        elif isinstance(element, OptionalPattern):
+            flush_run()
+            # OPTIONAL { P FILTER(E) } translates to LeftJoin(G, P, E): the
+            # filter becomes the join condition, evaluated against the
+            # merged row, so it may reference left-side variables.  Only
+            # the optional group's *own* top-level filters hoist — one
+            # nested deeper (OPTIONAL { { P FILTER(E) } }) they stay
+            # scoped to their group, where outer variables are unbound.
+            own_filters = [
+                part.expression for part in element.pattern.elements if isinstance(part, Filter)
+            ]
+            stripped = GroupGraphPattern(
+                tuple(part for part in element.pattern.elements if not isinstance(part, Filter))
+            )
+            inner = _compile_group(stripped, blocks)
+            current = LeftJoinNode(current, inner, _conjunction(own_filters))
+        else:  # pragma: no cover - parser produces no other element kinds
+            raise TypeError(f"unknown pattern element {type(element).__name__}")
+    flush_run()
+
+    remaining = _push_down_filters(filters, own_blocks)
+    if remaining:
+        return FilterNode(current, remaining)
+    return current
+
+
+def _join(left: PlanNode, right: PlanNode) -> PlanNode:
+    if isinstance(left, EmptyNode):
+        return right
+    return JoinNode(left, right)
+
+
+def _conjunction(conditions: list[Expression]) -> Expression | None:
+    if not conditions:
+        return None
+    combined = conditions[0]
+    for condition in conditions[1:]:
+        combined = And(combined, condition)
+    return combined
+
+
+def _push_down_filters(filters: list[Expression], own_blocks: list[BGPNode]) -> list[Expression]:
+    """Attach each filter to a block of this group that binds all its vars.
+
+    Only the group's *own* BGP blocks (direct join operands) are legal
+    targets; a filter that does not fit one stays at group level.  The
+    returned list keeps the group-level filters in syntactic order.
+    """
+    remaining: list[Expression] = []
+    for expression in filters:
+        wanted = expression_variables(expression)
+        target = None
+        if wanted:
+            for block in own_blocks:
+                if wanted <= block.variables():
+                    target = block
+                    break
+        if target is not None:
+            target.filters.append(expression)
+        else:
+            remaining.append(expression)
+    return remaining
+
+
+# --------------------------------------------------------------------------- #
+# evaluation
+# --------------------------------------------------------------------------- #
+def evaluate_plan(node: PlanNode, solver: BGPSolver, deadline: Deadline) -> list[Binding]:
+    """Evaluate a plan tree and return its full solution multiset."""
+    return list(stream_plan(node, solver, deadline))
+
+
+def stream_plan(node: PlanNode, solver: BGPSolver, deadline: Deadline) -> Iterator[Binding]:
+    """Stream a plan tree's solution multiset, lazily where the algebra allows.
+
+    BGP, Union and Filter nodes stream straight through; a Join buckets
+    its (materialised) left operand and streams the right; a LeftJoin
+    buckets its (materialised) right operand and streams the left.  So a
+    consumer that stops early — ``ask()``, a row cap, ``LIMIT`` — never
+    forces the whole multiset of the outermost operator chain.
+    """
+    if isinstance(node, BGPNode):
+        for row in solver(node):
+            deadline.check()
+            if all(filter_passes(expression, row) for expression in node.filters):
+                yield row
+    elif isinstance(node, EmptyNode):
+        yield Binding({})
+    elif isinstance(node, UnionNode):
+        for branch in node.branches:
+            yield from stream_plan(branch, solver, deadline)
+    elif isinstance(node, FilterNode):
+        for row in stream_plan(node.child, solver, deadline):
+            if all(filter_passes(expression, row) for expression in node.conditions):
+                yield row
+    elif isinstance(node, JoinNode):
+        yield from _stream_join(node, solver, deadline)
+    elif isinstance(node, LeftJoinNode):
+        yield from _stream_left_join(node, solver, deadline)
+    else:  # pragma: no cover - compile produces no other node kinds
+        raise TypeError(f"unknown plan node {type(node).__name__}")
+
+
+def certain_variables(node: PlanNode) -> set[Variable]:
+    """Variables *guaranteed* bound in every row the node produces.
+
+    BGP rows bind all their pattern variables; a union only guarantees
+    what every branch guarantees; a left join only its required side.
+    The intersection of both operands' certain sets gives safe hash-join
+    keys — residual shared-but-uncertain variables are still checked by
+    :meth:`Binding.merge`.
+    """
+    if isinstance(node, BGPNode):
+        return node.variables()
+    if isinstance(node, EmptyNode):
+        return set()
+    if isinstance(node, JoinNode):
+        return certain_variables(node.left) | certain_variables(node.right)
+    if isinstance(node, UnionNode):
+        certain = certain_variables(node.branches[0])
+        for branch in node.branches[1:]:
+            certain &= certain_variables(branch)
+        return certain
+    if isinstance(node, LeftJoinNode):
+        return certain_variables(node.left)
+    if isinstance(node, FilterNode):
+        return certain_variables(node.child)
+    raise TypeError(f"unknown plan node {type(node).__name__}")  # pragma: no cover
+
+
+def _join_keys(left: PlanNode, right: PlanNode) -> list[Variable]:
+    return sorted(certain_variables(left) & certain_variables(right), key=lambda v: v.name)
+
+
+def _bucket(rows: list[Binding], keys: list[Variable]) -> dict[tuple, list[Binding]]:
+    buckets: dict[tuple, list[Binding]] = {}
+    for row in rows:
+        buckets.setdefault(tuple(row[v] for v in keys), []).append(row)
+    return buckets
+
+
+def _stream_join(node: JoinNode, solver: BGPSolver, deadline: Deadline) -> Iterator[Binding]:
+    """SPARQL Join: all compatible merges, as a multiset.
+
+    The left operand is materialised and bucketed on the join keys (the
+    variables certainly bound on *both* sides); right rows stream past
+    the buckets.  An empty bucket is exact, not approximate: a left row
+    outside the probed bucket differs on a certainly-bound shared
+    variable, so its merge would conflict anyway.
+    """
+    left = evaluate_plan(node.left, solver, deadline)
+    if not left:
+        return
+    keys = _join_keys(node.left, node.right)
+    buckets = _bucket(left, keys)
+    for row in stream_plan(node.right, solver, deadline):
+        deadline.check()
+        for other in buckets.get(tuple(row[v] for v in keys), ()):
+            combined = other.merge(row)
+            if combined is not None:
+                yield combined
+
+
+def _stream_left_join(
+    node: LeftJoinNode, solver: BGPSolver, deadline: Deadline
+) -> Iterator[Binding]:
+    """SPARQL LeftJoin: Filter(condition, Join) plus unmatched left rows.
+
+    The optional side is materialised and bucketed on the join keys; left
+    rows stream, each probing one bucket (exact, as in :func:`_stream_join`).
+    """
+    right = evaluate_plan(node.right, solver, deadline)
+    keys = _join_keys(node.left, node.right)
+    buckets = _bucket(right, keys)
+    for row in stream_plan(node.left, solver, deadline):
+        deadline.check()
+        matched = False
+        for other in buckets.get(tuple(row[v] for v in keys), ()):
+            deadline.check()
+            combined = row.merge(other)
+            if combined is None:
+                continue
+            if node.condition is not None and not filter_passes(node.condition, combined):
+                continue
+            yield combined
+            matched = True
+        if not matched:
+            yield row

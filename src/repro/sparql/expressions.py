@@ -1,0 +1,366 @@
+"""FILTER expression algebra and its evaluation semantics.
+
+The expression fragment covers what the conformance and differential
+suites exercise: comparisons (``=``, ``!=``, ``<``, ``>``, ``<=``,
+``>=``), the logical connectives ``&&`` / ``||`` / ``!``, the built-ins
+``BOUND(?var)`` and ``REGEX(text, pattern[, flags])``, and numeric /
+string literal operands.
+
+Evaluation follows SPARQL 1.1 section 17:
+
+* an expression evaluates to an RDF term, a Python bool, or *raises*
+  :class:`ExpressionError` (the spec's "error" value — e.g. an unbound
+  variable, or an order comparison between incomparable terms);
+* ``&&`` and ``||`` use the three-valued truth tables, so one errored
+  operand does not necessarily poison the conjunction/disjunction;
+* a FILTER keeps a solution only when the *effective boolean value* of
+  its expression is true — an error counts as false
+  (:func:`filter_passes`).
+
+Deviation from the full spec, chosen for this fragment: ``=`` / ``!=``
+between terms that are neither both numeric nor both plain strings fall
+back to RDF term equality instead of erroring on unknown datatypes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from ..rdf.terms import IRI, Literal, Term
+from .algebra import Variable
+
+__all__ = [
+    "And",
+    "Bound",
+    "Comparison",
+    "Expression",
+    "ExpressionError",
+    "Not",
+    "Or",
+    "Regex",
+    "evaluate",
+    "expression_variables",
+    "filter_passes",
+]
+
+#: Datatype IRIs treated as numeric by comparisons and effective boolean value.
+_NUMERIC_DATATYPES = frozenset(
+    f"http://www.w3.org/2001/XMLSchema#{name}"
+    for name in (
+        "integer",
+        "decimal",
+        "double",
+        "float",
+        "int",
+        "long",
+        "short",
+        "byte",
+        "nonNegativeInteger",
+        "positiveInteger",
+        "nonPositiveInteger",
+        "negativeInteger",
+        "unsignedInt",
+        "unsignedLong",
+        "unsignedShort",
+        "unsignedByte",
+    )
+)
+
+_XSD_STRING = "http://www.w3.org/2001/XMLSchema#string"
+_XSD_BOOLEAN = "http://www.w3.org/2001/XMLSchema#boolean"
+
+#: Comparison operators in the order the parser recognises them.
+COMPARISON_OPS = ("<=", ">=", "!=", "=", "<", ">")
+
+#: REGEX flag characters mapped onto :mod:`re` flags (XPath/XQuery set).
+_REGEX_FLAGS = {
+    "i": re.IGNORECASE,
+    "s": re.DOTALL,
+    "m": re.MULTILINE,
+    "x": re.VERBOSE,
+}
+
+
+class ExpressionError(ValueError):
+    """The SPARQL "error" value produced during expression evaluation."""
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """A binary comparison such as ``?age >= 21`` or ``?city = x:London``."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{_operand_str(self.left)} {self.op} {_operand_str(self.right)}"
+
+
+@dataclass(frozen=True, slots=True)
+class And:
+    """Logical conjunction ``left && right`` (three-valued)."""
+
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return f"({self.left} && {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Or:
+    """Logical disjunction ``left || right`` (three-valued)."""
+
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    """Logical negation ``!operand`` over the effective boolean value."""
+
+    operand: "Expression"
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True, slots=True)
+class Bound:
+    """The ``BOUND(?var)`` built-in: true when the variable has a binding."""
+
+    variable: Variable
+
+    def __str__(self) -> str:
+        return f"BOUND({self.variable})"
+
+
+@dataclass(frozen=True, slots=True)
+class Regex:
+    """The ``REGEX(text, pattern[, flags])`` built-in (XPath flag set)."""
+
+    text: "Expression"
+    pattern: "Expression"
+    flags: "Expression | None" = None
+
+    def __str__(self) -> str:
+        parts = [_operand_str(self.text), _operand_str(self.pattern)]
+        if self.flags is not None:
+            parts.append(_operand_str(self.flags))
+        return f"REGEX({', '.join(parts)})"
+
+
+#: Every expression node: operators, built-ins, or a leaf operand
+#: (a variable reference, or a constant IRI / literal).
+Expression = Union[Comparison, And, Or, Not, Bound, Regex, Variable, IRI, Literal]
+
+
+def _operand_str(expr: Expression) -> str:
+    """Render one operand; constants use their N-Triples form."""
+    return expr.n3() if isinstance(expr, (IRI, Literal)) else str(expr)
+
+
+# --------------------------------------------------------------------------- #
+# evaluation
+# --------------------------------------------------------------------------- #
+def evaluate(expr: Expression, binding: Mapping[Variable, Term]) -> Term | bool:
+    """Evaluate ``expr`` under ``binding``; raise :class:`ExpressionError` on error."""
+    if isinstance(expr, Variable):
+        value = binding.get(expr)
+        if value is None:
+            raise ExpressionError(f"variable {expr} is unbound")
+        return value
+    if isinstance(expr, (IRI, Literal)):
+        return expr
+    if isinstance(expr, Bound):
+        return expr.variable in binding
+    if isinstance(expr, Not):
+        return not effective_boolean_value(evaluate(expr.operand, binding))
+    if isinstance(expr, And):
+        return _evaluate_and(expr, binding)
+    if isinstance(expr, Or):
+        return _evaluate_or(expr, binding)
+    if isinstance(expr, Comparison):
+        return _evaluate_comparison(expr, binding)
+    if isinstance(expr, Regex):
+        return _evaluate_regex(expr, binding)
+    raise ExpressionError(f"cannot evaluate expression of type {type(expr).__name__}")
+
+
+def _evaluate_and(expr: And, binding: Mapping[Variable, Term]) -> bool:
+    """``&&`` truth table: a false operand wins over an error on the other side."""
+    try:
+        left = effective_boolean_value(evaluate(expr.left, binding))
+    except ExpressionError:
+        if not effective_boolean_value(evaluate(expr.right, binding)):
+            return False
+        raise
+    if not left:
+        return False
+    return effective_boolean_value(evaluate(expr.right, binding))
+
+
+def _evaluate_or(expr: Or, binding: Mapping[Variable, Term]) -> bool:
+    """``||`` truth table: a true operand wins over an error on the other side."""
+    try:
+        left = effective_boolean_value(evaluate(expr.left, binding))
+    except ExpressionError:
+        if effective_boolean_value(evaluate(expr.right, binding)):
+            return True
+        raise
+    if left:
+        return True
+    return effective_boolean_value(evaluate(expr.right, binding))
+
+
+def _evaluate_comparison(expr: Comparison, binding: Mapping[Variable, Term]) -> bool:
+    left = evaluate(expr.left, binding)
+    right = evaluate(expr.right, binding)
+    op = expr.op
+    left_num = _numeric_value(left)
+    right_num = _numeric_value(right)
+    if left_num is not None and right_num is not None:
+        return _apply_order(op, left_num, right_num)
+    if op in ("=", "!="):
+        equal = _term_equal(left, right)
+        return equal if op == "=" else not equal
+    left_str = _string_value(left)
+    right_str = _string_value(right)
+    if left_str is not None and right_str is not None:
+        return _apply_order(op, left_str, right_str)
+    raise ExpressionError(
+        f"cannot order-compare {_describe(left)} and {_describe(right)} with {op!r}"
+    )
+
+
+def _evaluate_regex(expr: Regex, binding: Mapping[Variable, Term]) -> bool:
+    text = _string_value(evaluate(expr.text, binding))
+    if text is None:
+        raise ExpressionError("REGEX text operand is not a string literal")
+    pattern = _string_value(evaluate(expr.pattern, binding))
+    if pattern is None:
+        raise ExpressionError("REGEX pattern operand is not a string literal")
+    flags = 0
+    if expr.flags is not None:
+        flag_text = _string_value(evaluate(expr.flags, binding))
+        if flag_text is None:
+            raise ExpressionError("REGEX flags operand is not a string literal")
+        for char in flag_text:
+            flag = _REGEX_FLAGS.get(char)
+            if flag is None:
+                raise ExpressionError(f"unsupported REGEX flag {char!r}")
+            flags |= flag
+    try:
+        compiled = re.compile(pattern, flags)
+    except re.error as exc:
+        raise ExpressionError(f"invalid REGEX pattern {pattern!r}: {exc}") from exc
+    return compiled.search(text) is not None
+
+
+def effective_boolean_value(value: Term | bool) -> bool:
+    """The EBV of SPARQL 17.2.2; raises :class:`ExpressionError` when undefined."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, Literal):
+        if value.datatype == _XSD_BOOLEAN:
+            if value.value in ("true", "1"):
+                return True
+            if value.value in ("false", "0"):
+                return False
+            raise ExpressionError(f"malformed xsd:boolean literal {value.value!r}")
+        number = _numeric_value(value)
+        if number is not None:
+            return number != 0 and number == number  # NaN -> False
+        if value.datatype is None or value.datatype == _XSD_STRING:
+            return len(value.value) > 0
+    raise ExpressionError(f"no effective boolean value for {_describe(value)}")
+
+
+def filter_passes(expr: Expression, binding: Mapping[Variable, Term]) -> bool:
+    """FILTER semantics: keep the row iff the EBV is true; errors drop it."""
+    try:
+        return effective_boolean_value(evaluate(expr, binding))
+    except ExpressionError:
+        return False
+
+
+def expression_variables(expr: Expression) -> set[Variable]:
+    """Return every variable mentioned anywhere inside ``expr``."""
+    if isinstance(expr, Variable):
+        return {expr}
+    if isinstance(expr, Bound):
+        return {expr.variable}
+    if isinstance(expr, (And, Or)):
+        return expression_variables(expr.left) | expression_variables(expr.right)
+    if isinstance(expr, Not):
+        return expression_variables(expr.operand)
+    if isinstance(expr, Comparison):
+        return expression_variables(expr.left) | expression_variables(expr.right)
+    if isinstance(expr, Regex):
+        found = expression_variables(expr.text) | expression_variables(expr.pattern)
+        if expr.flags is not None:
+            found |= expression_variables(expr.flags)
+        return found
+    return set()
+
+
+# --------------------------------------------------------------------------- #
+# value helpers
+# --------------------------------------------------------------------------- #
+def _numeric_value(value: Term | bool) -> float | None:
+    """Return the numeric value of a numeric literal, else None."""
+    if isinstance(value, Literal) and value.datatype in _NUMERIC_DATATYPES:
+        try:
+            return float(value.value)
+        except ValueError as exc:
+            raise ExpressionError(f"malformed numeric literal {value.value!r}") from exc
+    return None
+
+
+def _string_value(value: Term | bool) -> str | None:
+    """Return the lexical form of a plain / xsd:string literal, else None."""
+    if isinstance(value, Literal) and (value.datatype is None or value.datatype == _XSD_STRING):
+        return value.value
+    return None
+
+
+def _term_equal(left: Term | bool, right: Term | bool) -> bool:
+    """RDF term equality, with plain and xsd:string literals unified."""
+    left_str = _string_value(left)
+    right_str = _string_value(right)
+    if left_str is not None and right_str is not None:
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            return left_str == right_str and left.language == right.language
+    return left == right
+
+
+def _apply_order(op: str, left, right) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "<=":
+        return left <= right
+    return left >= right
+
+
+def _describe(value: Term | bool) -> str:
+    if isinstance(value, bool):
+        return f"boolean {value}"
+    if isinstance(value, (IRI, Literal)):
+        return value.n3()
+    return repr(value)

@@ -1,20 +1,40 @@
-"""Recursive-descent parser for SPARQL ``SELECT ... WHERE { BGP }`` queries.
+"""Recursive-descent parser for SPARQL ``SELECT ... WHERE { ... }`` queries.
 
-Coverage follows the paper's scope (Section 1): SELECT/WHERE with basic
-graph patterns, PREFIX declarations, ``DISTINCT``, ``LIMIT``/``OFFSET``,
-predicate lists (``;``), object lists (``,``) and the ``a`` shorthand.
-FILTER, UNION, OPTIONAL and GROUP BY are detected and rejected with a
-clear error naming the offending token position.
+Coverage: the paper's conjunctive core (Section 1) — SELECT/WHERE with
+basic graph patterns, PREFIX declarations, ``DISTINCT``,
+``LIMIT``/``OFFSET``, predicate lists (``;``), object lists (``,``) and
+the ``a`` shorthand — plus the full pattern algebra of the
+FILTER / UNION / OPTIONAL fragment: nested ``{ ... }`` groups,
+``UNION`` chains, ``OPTIONAL`` sub-patterns and a FILTER expression
+grammar (comparisons, ``&&`` / ``||`` / ``!``, ``BOUND``, ``REGEX``,
+numeric and string literals).  Syntax outside the fragment — ``GROUP
+BY`` / ``ORDER BY`` / ``HAVING``, property paths, variable predicates —
+is rejected with a clear error naming the offending token position.
 """
 
 from __future__ import annotations
 
 from ..rdf.namespace import RDF_TYPE, XSD, NamespaceManager
 from ..rdf.terms import IRI, Literal
-from .algebra import SelectQuery, TriplePattern, Variable
+from .algebra import (
+    Filter,
+    GroupGraphPattern,
+    OptionalPattern,
+    PatternElement,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+    Variable,
+)
+from .expressions import COMPARISON_OPS, And, Bound, Expression, Not, Or, Regex
+from .expressions import Comparison as ComparisonExpr
 from .tokenizer import SparqlSyntaxError, Token, tokenize
 
 __all__ = ["SparqlParser", "parse_sparql", "SparqlSyntaxError"]
+
+#: Solution-modifier keywords recognised by the tokenizer but outside the
+#: supported fragment; rejected by name with their token offset.
+_UNSUPPORTED_MODIFIERS = ("GROUP", "ORDER", "HAVING")
 
 
 class SparqlParser:
@@ -93,29 +113,181 @@ class SparqlParser:
                 raise SparqlSyntaxError(f"unexpected token {token.text!r} in SELECT clause")
             token = self._next()
         self._expect("punct", "{")
-        patterns = self._parse_group_graph_pattern()
+        group = self._parse_group_graph_pattern()
         limit, offset = self._parse_solution_modifiers()
+        if group.is_basic():
+            # The paper's conjunctive fragment: keep the pre-algebra plain-BGP
+            # representation so plans, caching and matching are unchanged.
+            return SelectQuery(
+                patterns=list(group.elements),
+                projection=projection,
+                distinct=distinct,
+                limit=limit,
+                offset=offset,
+            )
         return SelectQuery(
-            patterns=patterns, projection=projection, distinct=distinct, limit=limit, offset=offset
+            patterns=group.triple_patterns(),
+            projection=projection,
+            distinct=distinct,
+            limit=limit,
+            offset=offset,
+            where=group,
         )
 
-    def _parse_group_graph_pattern(self) -> list[TriplePattern]:
-        patterns: list[TriplePattern] = []
+    def _parse_group_graph_pattern(self) -> GroupGraphPattern:
+        """Parse the elements of a group up to (and consuming) its ``}``."""
+        elements: list[PatternElement] = []
         while True:
             token = self._peek()
             if token is None:
                 raise SparqlSyntaxError("unterminated group graph pattern, missing '}'")
             if token.kind == "punct" and token.text == "}":
                 self._next()
-                return patterns
-            if token.kind == "keyword" and token.text in ("FILTER", "UNION", "OPTIONAL"):
+                return GroupGraphPattern(tuple(elements))
+            if token.kind == "punct" and token.text == "{":
+                self._next()
+                elements.append(self._parse_group_or_union())
+                self._skip_optional_dot()
+            elif token.kind == "keyword" and token.text == "OPTIONAL":
+                self._next()
+                self._expect("punct", "{")
+                elements.append(OptionalPattern(self._parse_group_graph_pattern()))
+                self._skip_optional_dot()
+            elif token.kind == "keyword" and token.text == "FILTER":
+                self._next()
+                elements.append(Filter(self._parse_constraint()))
+                self._skip_optional_dot()
+            elif token.kind == "keyword" and token.text == "UNION":
                 raise SparqlSyntaxError(
-                    f"{token.text} at offset {token.position} is outside the supported "
-                    f"SELECT/WHERE fragment (paper Section 1). Supported syntax: PREFIX "
-                    f"declarations, SELECT [DISTINCT] with basic graph patterns, predicate "
-                    f"lists (';'), object lists (','), the 'a' shorthand, LIMIT and OFFSET."
+                    f"UNION at offset {token.position} must follow a '{{ ... }}' group"
                 )
-            patterns.extend(self._parse_triples_block())
+            else:
+                elements.extend(self._parse_triples_block())
+
+    def _parse_group_or_union(self) -> PatternElement:
+        """Parse ``{ ... }`` (already past the ``{``), then any UNION chain."""
+        branches = [self._parse_group_graph_pattern()]
+        while True:
+            token = self._peek()
+            if token is None or token.kind != "keyword" or token.text != "UNION":
+                break
+            self._next()
+            self._expect("punct", "{")
+            branches.append(self._parse_group_graph_pattern())
+        if len(branches) == 1:
+            return branches[0]
+        return UnionPattern(tuple(branches))
+
+    def _skip_optional_dot(self) -> None:
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.text == ".":
+            self._next()
+
+    # ------------------------------------------------------------------ #
+    # FILTER expression grammar
+    # ------------------------------------------------------------------ #
+    def _parse_constraint(self) -> Expression:
+        """``FILTER`` operand: a bracketted expression or a built-in call."""
+        token = self._peek()
+        if token is not None and token.kind == "keyword" and token.text in ("BOUND", "REGEX"):
+            return self._parse_builtin_call()
+        self._expect("punct", "(")
+        expression = self._parse_expression()
+        self._expect("punct", ")")
+        return expression
+
+    def _parse_expression(self) -> Expression:
+        left = self._parse_and_expression()
+        while self._peek_op("||"):
+            self._next()
+            left = Or(left, self._parse_and_expression())
+        return left
+
+    def _parse_and_expression(self) -> Expression:
+        left = self._parse_relational_expression()
+        while self._peek_op("&&"):
+            self._next()
+            left = And(left, self._parse_relational_expression())
+        return left
+
+    def _parse_relational_expression(self) -> Expression:
+        left = self._parse_unary_expression()
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.text in COMPARISON_OPS:
+            self._next()
+            return ComparisonExpr(token.text, left, self._parse_unary_expression())
+        if token is not None and token.kind == "op" and token.text not in ("&&", "||"):
+            raise SparqlSyntaxError(
+                f"unsupported operator {token.text!r} at offset {token.position} "
+                f"(supported: {', '.join(COMPARISON_OPS)}, '&&', '||', '!')"
+            )
+        return left
+
+    def _parse_unary_expression(self) -> Expression:
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.text == "!":
+            self._next()
+            return Not(self._parse_unary_expression())
+        return self._parse_primary_expression()
+
+    def _parse_primary_expression(self) -> Expression:
+        token = self._next()
+        if token.kind == "punct" and token.text == "(":
+            expression = self._parse_expression()
+            self._expect("punct", ")")
+            return expression
+        if token.kind == "var":
+            return Variable(token.text[1:])
+        if token.kind == "iri":
+            return IRI(token.text[1:-1])
+        if token.kind == "pname":
+            try:
+                return self.namespaces.expand(token.text)
+            except KeyError as exc:
+                raise SparqlSyntaxError(f"unknown prefix in {token.text!r}") from exc
+        if token.kind == "literal":
+            return _parse_literal_token(token.text, self.namespaces)
+        if token.kind == "number":
+            datatype = XSD + ("decimal" if "." in token.text else "integer")
+            return Literal(token.text, datatype=datatype)
+        if token.kind == "keyword" and token.text in ("BOUND", "REGEX"):
+            self._pos -= 1
+            return self._parse_builtin_call()
+        raise SparqlSyntaxError(
+            f"unexpected token {token.text!r} at offset {token.position} in FILTER expression"
+        )
+
+    def _parse_builtin_call(self) -> Expression:
+        token = self._next()
+        self._expect("punct", "(")
+        if token.text == "BOUND":
+            var_token = self._next()
+            if var_token.kind != "var":
+                raise SparqlSyntaxError(
+                    f"BOUND expects a variable, found {var_token.text!r} "
+                    f"at offset {var_token.position}"
+                )
+            self._expect("punct", ")")
+            return Bound(Variable(var_token.text[1:]))
+        arguments = [self._parse_expression()]
+        while True:
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "punct" and nxt.text == ",":
+                self._next()
+                arguments.append(self._parse_expression())
+                continue
+            break
+        self._expect("punct", ")")
+        if len(arguments) not in (2, 3):
+            raise SparqlSyntaxError(
+                f"REGEX takes 2 or 3 arguments, got {len(arguments)} "
+                f"(at offset {token.position})"
+            )
+        return Regex(*arguments)
+
+    def _peek_op(self, text: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "op" and token.text == text
 
     def _parse_triples_block(self) -> list[TriplePattern]:
         patterns: list[TriplePattern] = []
@@ -165,6 +337,15 @@ class SparqlParser:
                 self._next()
                 number = self._expect("number")
                 offset = int(number.text)
+            elif token.text in _UNSUPPORTED_MODIFIERS:
+                name = f"{token.text} BY" if token.text in ("GROUP", "ORDER") else token.text
+                raise SparqlSyntaxError(
+                    f"{name} at offset {token.position} is outside the supported "
+                    f"fragment. Supported syntax: PREFIX declarations, SELECT "
+                    f"[DISTINCT] over basic graph patterns composed with FILTER, "
+                    f"UNION and OPTIONAL, predicate lists (';'), object lists "
+                    f"(','), the 'a' shorthand, LIMIT and OFFSET."
+                )
             else:
                 return limit, offset
 
@@ -188,7 +369,17 @@ class SparqlParser:
         if token.kind == "number":
             datatype = XSD + ("decimal" if "." in token.text else "integer")
             return Literal(token.text, datatype=datatype)
-        raise SparqlSyntaxError(f"unexpected token {token.text!r} while reading {position}")
+        if token.kind == "op" and position == "object":
+            # After a predicate, '/', '|' or '^' can only start a property
+            # path — name the feature instead of a generic token complaint.
+            raise SparqlSyntaxError(
+                f"property paths are outside the supported fragment: "
+                f"unexpected {token.text!r} at offset {token.position}"
+            )
+        raise SparqlSyntaxError(
+            f"unexpected token {token.text!r} at offset {token.position} "
+            f"while reading {position}"
+        )
 
 
 def _parse_literal_token(text: str, namespaces: NamespaceManager) -> Literal:

@@ -25,7 +25,7 @@ class Token:
 _TOKEN_RE = re.compile(
     r"""
     (?P<comment>\#[^\n]*)
-  | (?P<keyword>(?i:\bSELECT\b|\bWHERE\b|\bDISTINCT\b|\bPREFIX\b|\bBASE\b|\bLIMIT\b|\bOFFSET\b|\bASK\b|\bFILTER\b|\bUNION\b|\bOPTIONAL\b|\bINSERT\b|\bDELETE\b|\bDATA\b|\bLOAD\b|\bSILENT\b|\bGRAPH\b|\bINTO\b)(?![:-]))
+  | (?P<keyword>(?i:\bSELECT\b|\bWHERE\b|\bDISTINCT\b|\bPREFIX\b|\bBASE\b|\bLIMIT\b|\bOFFSET\b|\bASK\b|\bFILTER\b|\bUNION\b|\bOPTIONAL\b|\bBOUND\b|\bREGEX\b|\bGROUP\b|\bORDER\b|\bBY\b|\bHAVING\b|\bINSERT\b|\bDELETE\b|\bDATA\b|\bLOAD\b|\bSILENT\b|\bGRAPH\b|\bINTO\b)(?![:-]))
   | (?P<var>[?$][A-Za-z_][\w]*)
   | (?P<iri><[^<>"{}|^`\\\x00-\x20]*>)
   | (?P<literal>"(?:[^"\\]|\\.)*"(?:@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*|\^\^<[^<>\s]+>|\^\^[A-Za-z_][\w.-]*:[\w.-]+)?)
@@ -34,7 +34,7 @@ _TOKEN_RE = re.compile(
   | (?P<pname>(?:[A-Za-z_][\w-]*)?:[\w.%-]*)
   | (?P<star>\*)
   | (?P<punct>[{}.;,()])
-  | (?P<op>[<>=!&|+/-]+)
+  | (?P<op>&&|\|\||<=|>=|!=|<|>|=|!|[+/|-])
   | (?P<ws>\s+)
     """,
     re.VERBOSE,

@@ -108,10 +108,31 @@ class TestErrorMapping:
 
     def test_parse_error_is_400(self, server):
         code, document = get_error(
-            server, "/sparql", query="SELECT ?x WHERE { ?x <http://e/p> ?o . FILTER(?x) }"
+            server, "/sparql", query="SELECT ?x WHERE { ?x <http://e/p> ?o . } GROUP BY ?x"
         )
         assert code == 400
-        assert "FILTER" in document["message"]
+        assert "GROUP BY" in document["message"]
+
+    def test_algebra_query_is_served_with_unbound_cells(self, server):
+        query = (
+            "PREFIX x: <http://dbpedia.org/resource/> "
+            "PREFIX y: <http://dbpedia.org/ontology/> "
+            "SELECT ?p ?band WHERE { ?p y:wasBornIn x:London . "
+            "OPTIONAL { ?p y:wasPartOf ?band . } "
+            "FILTER(?p != x:Nobody) }"
+        )
+        status, headers, body = get(server, "/sparql", query=query)
+        assert status == 200
+        document = json.loads(body)
+        assert document["head"]["vars"] == ["p", "band"]
+        bindings = {b["p"]["value"]: b.get("band") for b in document["results"]["bindings"]}
+        # Amy Winehouse has a band; Christopher Nolan's ?band stays unbound
+        # and the W3C serializer simply omits the cell.
+        assert bindings["http://dbpedia.org/resource/Amy_Winehouse"] == {
+            "type": "uri",
+            "value": "http://dbpedia.org/resource/Music_Band",
+        }
+        assert bindings["http://dbpedia.org/resource/Christopher_Nolan"] is None
 
     def test_bad_parameter_is_400(self, server):
         code, document = get_error(server, "/sparql", query=QUERY, timeout="soon")

@@ -1,0 +1,453 @@
+"""Table-driven conformance tests for FILTER / UNION / OPTIONAL evaluation.
+
+Two layers are exercised:
+
+* the engine-independent expression semantics of
+  :mod:`repro.sparql.expressions` (error-is-false filters, three-valued
+  ``&&`` / ``||``, EBV rules);
+* end-to-end evaluation through the engines.  The
+  :class:`~repro.baselines.NestedLoopEngine` sees the full W3C semantics
+  (its triple store binds variables to literal objects); the multigraph
+  engines (:class:`~repro.AmberEngine`, sharded) answer the fragment
+  compatible with the paper's data model, where ``<predicate, literal>``
+  pairs are vertex attributes and variables bind IRI vertices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AmberEngine
+from repro.baselines import NestedLoopEngine
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.rdf.dataset import TripleStore
+from repro.sparql.algebra import Variable
+from repro.sparql.bindings import Binding
+from repro.sparql.expressions import (
+    And,
+    Bound,
+    Comparison,
+    ExpressionError,
+    Not,
+    Or,
+    Regex,
+    evaluate,
+    expression_variables,
+    filter_passes,
+)
+from repro.sparql.parser import parse_sparql
+
+EX = "http://e/"
+XSD_INT = "http://www.w3.org/2001/XMLSchema#integer"
+
+
+def iri(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+def num(value: int) -> Literal:
+    return Literal(str(value), datatype=XSD_INT)
+
+
+@pytest.fixture(scope="module")
+def literal_store() -> TripleStore:
+    """People with ages/names: literal objects for full-semantics tests."""
+    return TripleStore(
+        [
+            Triple(iri("alice"), iri("age"), num(30)),
+            Triple(iri("alice"), iri("name"), Literal("Alice")),
+            Triple(iri("bob"), iri("age"), num(7)),
+            Triple(iri("bob"), iri("name"), Literal("Bob")),
+            Triple(iri("carol"), iri("name"), Literal("Carol")),
+            Triple(iri("alice"), iri("knows"), iri("bob")),
+            Triple(iri("bob"), iri("knows"), iri("carol")),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def naive(literal_store) -> NestedLoopEngine:
+    return NestedLoopEngine(literal_store)
+
+
+@pytest.fixture(scope="module")
+def iri_store() -> TripleStore:
+    """IRI-object graph: the fragment all engines (incl. AMbER) answer."""
+    return TripleStore(
+        [
+            Triple(iri("alice"), iri("knows"), iri("bob")),
+            Triple(iri("bob"), iri("knows"), iri("carol")),
+            Triple(iri("carol"), iri("knows"), iri("alice")),
+            Triple(iri("alice"), iri("likes"), iri("bob")),
+            Triple(iri("carol"), iri("likes"), iri("dave")),
+            Triple(iri("dave"), iri("knows"), iri("alice")),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def iri_engines(iri_store):
+    return [NestedLoopEngine(iri_store), AmberEngine.from_store(iri_store)]
+
+
+def names(result, var: str) -> list[str]:
+    """The local names bound to ``?var``, sorted, one entry per row."""
+    prefix = len(EX)
+    return sorted(
+        str(row.get_name(var))[prefix:] for row in result if row.get_name(var) is not None
+    )
+
+
+PREFIX = f"PREFIX ex: <{EX}> "
+
+
+class TestExpressionSemantics:
+    """Direct unit coverage of the expression evaluator."""
+
+    ROW = Binding({Variable("x"): num(5), Variable("s"): Literal("abc")})
+
+    def test_unbound_variable_errors(self):
+        with pytest.raises(ExpressionError):
+            evaluate(Variable("missing"), self.ROW)
+
+    def test_error_is_false_in_filters(self):
+        assert filter_passes(Comparison("<", Variable("missing"), num(1)), self.ROW) is False
+
+    def test_bound(self):
+        assert evaluate(Bound(Variable("x")), self.ROW) is True
+        assert evaluate(Bound(Variable("missing")), self.ROW) is False
+
+    @pytest.mark.parametrize(
+        "op,right,expected",
+        [
+            ("<", 6, True),
+            ("<", 5, False),
+            ("<=", 5, True),
+            (">", 4, True),
+            (">=", 6, False),
+            ("=", 5, True),
+            ("!=", 5, False),
+        ],
+    )
+    def test_numeric_comparisons(self, op, right, expected):
+        assert evaluate(Comparison(op, Variable("x"), num(right)), self.ROW) is expected
+
+    def test_string_comparison_and_iri_equality(self):
+        assert evaluate(Comparison("<", Variable("s"), Literal("abd")), self.ROW) is True
+        assert evaluate(Comparison("=", iri("a"), iri("a")), self.ROW) is True
+        assert evaluate(Comparison("!=", iri("a"), iri("b")), self.ROW) is True
+
+    def test_incomparable_order_errors(self):
+        with pytest.raises(ExpressionError):
+            evaluate(Comparison("<", Variable("s"), num(3)), self.ROW)
+        with pytest.raises(ExpressionError):
+            evaluate(Comparison(">", iri("a"), iri("b")), self.ROW)
+
+    def test_three_valued_and(self):
+        true = Comparison("=", num(1), num(1))
+        false = Comparison("=", num(1), num(2))
+        error = Comparison("<", Variable("missing"), num(1))
+        # false && error -> false (the error does not poison the conjunction)
+        assert evaluate(And(false, error), self.ROW) is False
+        assert evaluate(And(error, false), self.ROW) is False
+        with pytest.raises(ExpressionError):
+            evaluate(And(true, error), self.ROW)
+
+    def test_three_valued_or(self):
+        true = Comparison("=", num(1), num(1))
+        false = Comparison("=", num(1), num(2))
+        error = Comparison("<", Variable("missing"), num(1))
+        # true || error -> true
+        assert evaluate(Or(true, error), self.ROW) is True
+        assert evaluate(Or(error, true), self.ROW) is True
+        with pytest.raises(ExpressionError):
+            evaluate(Or(false, error), self.ROW)
+
+    def test_not_uses_effective_boolean_value(self):
+        assert evaluate(Not(Comparison("=", num(1), num(2))), self.ROW) is True
+        # EBV of a non-empty plain literal is true
+        assert evaluate(Not(Variable("s")), self.ROW) is False
+
+    def test_regex_flags_and_errors(self):
+        assert evaluate(Regex(Variable("s"), Literal("^AB"), Literal("i")), self.ROW) is True
+        assert evaluate(Regex(Variable("s"), Literal("^AB")), self.ROW) is False
+        with pytest.raises(ExpressionError):
+            evaluate(Regex(Variable("x"), Literal("5")), self.ROW)  # numeric text
+        with pytest.raises(ExpressionError):
+            evaluate(Regex(Variable("s"), Literal("(")), self.ROW)  # bad pattern
+
+    def test_expression_variables(self):
+        expr = And(
+            Bound(Variable("a")),
+            Or(Comparison("=", Variable("b"), num(1)), Regex(Variable("c"), Literal("x"))),
+        )
+        assert expression_variables(expr) == {Variable("a"), Variable("b"), Variable("c")}
+
+
+class TestFilterConformance:
+    def test_numeric_filter(self, naive):
+        result = naive.query(PREFIX + "SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a > 10) }")
+        assert names(result, "p") == ["alice"]
+
+    def test_filter_on_unbound_variable_drops_all_rows(self, naive):
+        result = naive.query(
+            PREFIX + "SELECT ?p WHERE { ?p ex:age ?a . FILTER(?missing > 10) }"
+        )
+        assert len(result) == 0
+
+    def test_negated_bound_filter_keeps_rows(self, naive):
+        result = naive.query(
+            PREFIX + "SELECT ?p WHERE { ?p ex:age ?a . FILTER(!BOUND(?missing)) }"
+        )
+        assert names(result, "p") == ["alice", "bob"]
+
+    def test_filter_over_optional_unbound_is_error_false(self, naive):
+        # carol has no age: ?a unbound -> comparison errors -> row dropped.
+        result = naive.query(
+            PREFIX
+            + "SELECT ?p WHERE { ?p ex:name ?n . OPTIONAL { ?p ex:age ?a . } "
+            + "FILTER(?a > 0) }"
+        )
+        assert names(result, "p") == ["alice", "bob"]
+
+    def test_bound_filter_over_optional(self, naive):
+        result = naive.query(
+            PREFIX
+            + "SELECT ?p WHERE { ?p ex:name ?n . OPTIONAL { ?p ex:age ?a . } "
+            + "FILTER(!BOUND(?a)) }"
+        )
+        assert names(result, "p") == ["carol"]
+
+    def test_disjunction_with_error_branch(self, naive):
+        # For carol the left disjunct errors (unbound ?a) but REGEX saves it.
+        result = naive.query(
+            PREFIX
+            + 'SELECT ?p WHERE { ?p ex:name ?n . OPTIONAL { ?p ex:age ?a . } '
+            + 'FILTER(?a > 10 || REGEX(?n, "^C")) }'
+        )
+        assert names(result, "p") == ["alice", "carol"]
+
+    def test_regex_filter(self, naive):
+        result = naive.query(
+            PREFIX + 'SELECT ?p WHERE { ?p ex:name ?n . FILTER(REGEX(?n, "o")) }'
+        )
+        assert names(result, "p") == ["bob", "carol"]
+
+    def test_constant_filter_true_and_false(self, iri_engines):
+        for engine in iri_engines:
+            keep = engine.query(
+                PREFIX + "SELECT ?p WHERE { ?p ex:knows ?q . FILTER(1 < 2) }"
+            )
+            drop = engine.query(
+                PREFIX + "SELECT ?p WHERE { ?p ex:knows ?q . FILTER(2 < 1) }"
+            )
+            assert len(keep) == 4 and len(drop) == 0, engine.name
+
+    def test_iri_filter_agrees_across_engines(self, iri_engines):
+        query = (
+            PREFIX + "SELECT ?p ?q WHERE { ?p ex:knows ?q . FILTER(?q != ex:carol) }"
+        )
+        reference, amber = [engine.query(query) for engine in iri_engines]
+        assert reference.same_multiset(amber)
+        assert names(reference, "q") == ["alice", "alice", "bob"]
+
+
+class TestOptionalConformance:
+    def test_optional_keeps_unmatched_left_rows(self, naive):
+        result = naive.query(
+            PREFIX + "SELECT ?p ?a WHERE { ?p ex:name ?n . OPTIONAL { ?p ex:age ?a . } }"
+        )
+        assert len(result) == 3
+        by_name = {str(row.get_name("p")): row.get_name("a") for row in result}
+        assert by_name[EX + "carol"] is None
+
+    def test_nested_optional(self, iri_engines):
+        # dave likes nobody; carol likes dave (who knows alice).
+        query = (
+            PREFIX
+            + "SELECT ?p ?q ?r WHERE { ?p ex:knows ?q . "
+            + "OPTIONAL { ?q ex:likes ?r . OPTIONAL { ?r ex:knows ?s . } } }"
+        )
+        reference, amber = [engine.query(query) for engine in iri_engines]
+        assert reference.same_multiset(amber)
+        assert len(reference) == 4
+
+    def test_optional_with_inner_filter_is_a_join_condition(self, naive):
+        # OPTIONAL { P FILTER(E) } must keep the left row when E fails,
+        # not drop it: spec translation LeftJoin(G, P, E).
+        result = naive.query(
+            PREFIX
+            + "SELECT ?p ?a WHERE { ?p ex:name ?n . "
+            + "OPTIONAL { ?p ex:age ?a . FILTER(?a > 10) } }"
+        )
+        assert len(result) == 3
+        by_name = {str(row.get_name("p")): row.get_name("a") for row in result}
+        assert by_name[EX + "alice"] == num(30)
+        assert by_name[EX + "bob"] is None  # age 7 fails the condition
+        assert by_name[EX + "carol"] is None
+
+    def test_optional_filter_one_group_deeper_is_not_a_join_condition(self, iri_engines):
+        # OPTIONAL { { P FILTER(E) } }: E is scoped to the *inner* group,
+        # where the outer ?p is unbound -> error -> false -> the optional
+        # side is empty and the bare left rows survive.  (Only a filter
+        # that is a direct child of the OPTIONAL's own group hoists into
+        # the LeftJoin condition, per the 18.2.2 translation order.)
+        nested = (
+            PREFIX
+            + "SELECT ?p ?q ?r WHERE { ?p ex:knows ?q . "
+            + "OPTIONAL { { ?q ex:likes ?r . FILTER(?p = ex:carol) } } }"
+        )
+        direct = nested.replace("{ { ", "{ ").replace("} }", "}", 1)
+        for engine in iri_engines:
+            nested_rows = engine.query(nested)
+            assert len(nested_rows) == 4, engine.name
+            assert all(row.get_name("r") is None for row in nested_rows), engine.name
+            # The direct-child form *is* a join condition: carol knows
+            # alice, alice likes bob, and ?p = carol holds on the merge.
+            direct_rows = engine.query(direct)
+            bound = [row for row in direct_rows if row.get_name("r") is not None]
+            assert [str(row.get_name("p")) for row in bound] == [EX + "carol"], engine.name
+            assert len(direct_rows) == 4, engine.name
+
+    def test_optional_before_required_part(self, iri_engines):
+        query = (
+            PREFIX + "SELECT * WHERE { OPTIONAL { ?p ex:likes ?x . } ?p ex:knows ?q . }"
+        )
+        reference, amber = [engine.query(query) for engine in iri_engines]
+        assert reference.same_multiset(amber)
+
+
+class TestUnionConformance:
+    def test_union_is_a_multiset(self, iri_engines):
+        query = (
+            PREFIX
+            + "SELECT ?p WHERE { { ?p ex:knows ex:bob . } UNION { ?p ex:knows ex:bob . } }"
+        )
+        for engine in iri_engines:
+            result = engine.query(query)
+            assert names(result, "p") == ["alice", "alice"], engine.name
+
+    def test_union_branch_variable_mismatch_leaves_unbound(self, iri_engines):
+        query = (
+            PREFIX
+            + "SELECT ?p ?q ?r WHERE { { ?p ex:knows ?q . } UNION { ?p ex:likes ?r . } }"
+        )
+        for engine in iri_engines:
+            result = engine.query(query)
+            assert len(result) == 6, engine.name
+            knows_rows = [row for row in result if row.get_name("q") is not None]
+            likes_rows = [row for row in result if row.get_name("r") is not None]
+            assert len(knows_rows) == 4 and len(likes_rows) == 2, engine.name
+            assert all(row.get_name("r") is None for row in knows_rows), engine.name
+
+    def test_union_branch_with_unknown_predicate_still_answers(self, iri_engines):
+        # One dead branch (predicate absent from the data) must not make
+        # the whole query unsatisfiable — the other branch still answers.
+        query = (
+            PREFIX
+            + "SELECT ?p WHERE { { ?p ex:no_such ?q . } UNION { ?p ex:likes ?q . } }"
+        )
+        for engine in iri_engines:
+            assert names(engine.query(query), "p") == ["alice", "carol"], engine.name
+
+    def test_union_then_join(self, iri_engines):
+        query = (
+            PREFIX
+            + "SELECT ?p ?q WHERE { { ?p ex:likes ?q . } UNION { ?q ex:likes ?p . } "
+            + "?p ex:knows ?q . }"
+        )
+        reference, amber = [engine.query(query) for engine in iri_engines]
+        assert reference.same_multiset(amber)
+        assert len(reference) == 1  # only alice likes+knows bob
+
+
+class TestSolutionModifiersOverAlgebra:
+    QUERY = (
+        PREFIX
+        + "SELECT ?p WHERE { { ?p ex:knows ex:bob . } UNION { ?p ex:knows ex:bob . } "
+        + "UNION { ?p ex:likes ex:bob . } }"
+    )
+
+    def test_distinct_over_union(self, iri_engines):
+        for engine in iri_engines:
+            result = engine.query(
+                self.QUERY.replace("SELECT ?p", "SELECT DISTINCT ?p")
+            )
+            assert names(result, "p") == ["alice"], engine.name
+
+    def test_limit_and_offset_over_union(self, iri_engines):
+        for engine in iri_engines:
+            assert len(engine.query(self.QUERY + " LIMIT 2")) == 2, engine.name
+            assert len(engine.query(self.QUERY + " OFFSET 1")) == 2, engine.name
+            assert len(engine.query(self.QUERY + " LIMIT 2 OFFSET 2")) == 1, engine.name
+
+    def test_count_and_ask_over_algebra(self, iri_engines):
+        for engine in iri_engines:
+            assert engine.count(self.QUERY) == 3, engine.name
+            assert engine.count(self.QUERY.replace("SELECT ?p", "SELECT DISTINCT ?p")) == 1
+            assert engine.ask(self.QUERY) is True, engine.name
+            dead = PREFIX + "SELECT ?p WHERE { { ?p ex:no ?q . } UNION { ?q ex:no ?p . } }"
+            assert engine.ask(dead) is False, engine.name
+
+    def test_distinct_limit_offset_agree_across_engines(self, iri_engines):
+        query = (
+            PREFIX
+            + "SELECT DISTINCT ?p ?q WHERE { ?p ex:knows ?q . "
+            + "OPTIONAL { ?q ex:likes ?r . } } LIMIT 3 OFFSET 1"
+        )
+        reference, amber = [engine.query(query) for engine in iri_engines]
+        # DISTINCT collapses the optional expansion identically; the row
+        # *count* is deterministic even though engine row order is not.
+        assert len(reference) == len(amber) == 3
+
+
+class TestPlanCaching:
+    def test_algebra_plans_are_cached_and_invalidated(self, iri_store):
+        from repro.server.cache import LRUCache
+
+        engine = AmberEngine.from_store(iri_store)
+        engine.plan_cache = LRUCache(8)
+        query = (
+            PREFIX + "SELECT ?p WHERE { ?p ex:knows ?q . FILTER(?q != ex:bob) }"
+        )
+        first = engine.prepare(query)
+        second = engine.prepare(query)
+        assert first is second  # cache hit shares the AlgebraPlan
+        baseline = len(engine.query(query))
+        engine.insert_triples([Triple(iri("eve"), iri("knows"), iri("carol"))])
+        assert engine.prepare(query) is not first  # mutation invalidated it
+        assert len(engine.query(query)) == baseline + 1
+
+    def test_pushed_down_filter_prunes_before_join(self, iri_store):
+        # The group filter binds entirely inside the first BGP block, so it
+        # must be attached to that block, not evaluated at group level.
+        from repro.sparql.eval import BGPNode, compile_pattern
+
+        parsed = parse_sparql(
+            PREFIX
+            + "SELECT * WHERE { ?p ex:knows ?q . OPTIONAL { ?q ex:likes ?r . } "
+            + "FILTER(?q != ex:bob) }"
+        )
+        compiled = compile_pattern(parsed.where)
+        assert isinstance(compiled.blocks[0], BGPNode)
+        assert len(compiled.blocks[0].filters) == 1
+        # And the filtered evaluation still matches an un-pushed reference.
+        engine = AmberEngine.from_store(iri_store)
+        result = engine.query(
+            PREFIX
+            + "SELECT * WHERE { ?p ex:knows ?q . OPTIONAL { ?q ex:likes ?r . } "
+            + "FILTER(?q != ex:bob) }"
+        )
+        assert names(result, "q") == ["alice", "alice", "carol"]
+
+    def test_filter_on_optional_variables_stays_at_group_level(self):
+        from repro.sparql.eval import FilterNode, compile_pattern
+
+        parsed = parse_sparql(
+            PREFIX
+            + "SELECT * WHERE { ?p ex:knows ?q . OPTIONAL { ?q ex:likes ?r . } "
+            + "FILTER(?r != ex:bob) }"
+        )
+        compiled = compile_pattern(parsed.where)
+        assert isinstance(compiled.root, FilterNode)
+        assert all(not block.filters for block in compiled.blocks)

@@ -4,7 +4,15 @@ import pytest
 
 from repro.rdf.namespace import RDF_TYPE
 from repro.rdf.terms import IRI, Literal
-from repro.sparql.algebra import SelectQuery, TriplePattern, Variable
+from repro.sparql.algebra import (
+    GroupGraphPattern,
+    OptionalPattern,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+    Variable,
+)
+from repro.sparql.expressions import And, Bound, Comparison, Not, Or, Regex
 from repro.sparql.parser import SparqlSyntaxError, parse_sparql
 
 
@@ -104,11 +112,6 @@ class TestErrors:
         with pytest.raises(SparqlSyntaxError):
             parse_sparql("SELECT ?s WHERE { ?s <http://e/p> ?o .")
 
-    def test_filter_rejected_with_clear_message(self):
-        with pytest.raises(SparqlSyntaxError) as excinfo:
-            parse_sparql("SELECT ?s WHERE { ?s <http://e/p> ?o . FILTER(?o > 3) }")
-        assert "FILTER" in str(excinfo.value)
-
     def test_variable_predicate_rejected(self):
         with pytest.raises(SparqlSyntaxError):
             parse_sparql("SELECT ?s WHERE { ?s ?p ?o . }")
@@ -154,17 +157,42 @@ class TestAlgebra:
         assert len(query) == 1
 
 
-class TestRejectionDiagnostics:
-    def test_optional_message_has_position_and_hint(self):
-        query = "SELECT ?s WHERE { ?s <http://e/p> ?o . OPTIONAL { ?s <http://e/q> ?z . } }"
-        with pytest.raises(SparqlSyntaxError) as excinfo:
-            parse_sparql(query)
-        message = str(excinfo.value)
-        assert "OPTIONAL" in message
-        assert f"offset {query.index('OPTIONAL')}" in message
-        assert "Supported syntax" in message
+class TestPatternAlgebra:
+    def test_filter_parses_into_where_tree(self):
+        query = parse_sparql("SELECT ?s WHERE { ?s <http://e/p> ?o . FILTER(?o > 3) }")
+        assert isinstance(query.where, GroupGraphPattern)
+        assert len(query.patterns) == 1
+        filters = query.where.filters()
+        assert len(filters) == 1
+        expr = filters[0].expression
+        assert isinstance(expr, Comparison) and expr.op == ">"
+        assert expr.left == Variable("o")
 
-    def test_union_message_has_position(self):
+    def test_plain_bgp_has_no_where_tree(self):
+        query = parse_sparql("SELECT ?s WHERE { ?s <http://e/p> ?o . }")
+        assert query.where is None
+
+    def test_optional_parses(self):
+        query = parse_sparql(
+            "SELECT * WHERE { ?s <http://e/p> ?o . OPTIONAL { ?s <http://e/q> ?z . } }"
+        )
+        optionals = [e for e in query.where.elements if isinstance(e, OptionalPattern)]
+        assert len(optionals) == 1
+        assert len(optionals[0].pattern.elements) == 1
+        # Flattened triples cover both the required and the optional part.
+        assert len(query.patterns) == 2
+        assert query.answer_variables() == [Variable("s"), Variable("o"), Variable("z")]
+
+    def test_union_chain_parses(self):
+        query = parse_sparql(
+            "SELECT ?s WHERE { { ?s <http://e/p> ?o . } UNION { ?s <http://e/q> ?o . } "
+            "UNION { ?s <http://e/r> ?o . } }"
+        )
+        unions = [e for e in query.where.elements if isinstance(e, UnionPattern)]
+        assert len(unions) == 1
+        assert len(unions[0].branches) == 3
+
+    def test_union_without_left_group_rejected(self):
         query = "SELECT ?s WHERE { ?s <http://e/p> ?o . UNION { ?s <http://e/q> ?z . } }"
         with pytest.raises(SparqlSyntaxError) as excinfo:
             parse_sparql(query)
@@ -172,11 +200,101 @@ class TestRejectionDiagnostics:
         assert "UNION" in message
         assert f"offset {query.index('UNION')}" in message
 
-    def test_filter_message_has_position(self):
-        query = "SELECT ?s WHERE { ?s <http://e/p> ?o . FILTER(?o > 3) }"
+    def test_filter_expression_grammar(self):
+        query = parse_sparql(
+            'SELECT ?s WHERE { ?s <http://e/p> ?o . '
+            'FILTER(!BOUND(?z) && (?o = "x" || REGEX(?o, "^a", "i"))) }'
+        )
+        expr = query.where.filters()[0].expression
+        assert isinstance(expr, And)
+        assert isinstance(expr.left, Not) and isinstance(expr.left.operand, Bound)
+        assert isinstance(expr.right, Or)
+        assert isinstance(expr.right.right, Regex)
+        assert expr.right.right.flags == Literal("i")
+
+    def test_spaceless_comparison_operators(self):
+        # The operator lexer must not swallow a following sign or '!'.
+        query = parse_sparql("SELECT ?s WHERE { ?s <http://e/p> ?o . FILTER(?o>=-1) }")
+        expr = query.where.filters()[0].expression
+        assert isinstance(expr, Comparison) and expr.op == ">="
+        assert expr.right == Literal("-1", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        query = parse_sparql(
+            "PREFIX ex: <http://e/> SELECT ?s WHERE "
+            "{ ?s ex:p ?o . FILTER(?o=ex:n0&&BOUND(?s)) }"
+        )
+        expr = query.where.filters()[0].expression
+        assert isinstance(expr, And)
+        assert isinstance(expr.left, Comparison) and expr.left.op == "="
+
+    def test_filter_builtin_without_parentheses(self):
+        query = parse_sparql("SELECT ?s WHERE { ?s <http://e/p> ?o . FILTER BOUND(?o) }")
+        assert isinstance(query.where.filters()[0].expression, Bound)
+
+    def test_nested_optional_parses(self):
+        query = parse_sparql(
+            "SELECT * WHERE { ?a <http://e/p> ?b . OPTIONAL { ?b <http://e/q> ?c . "
+            "OPTIONAL { ?c <http://e/r> ?d . } } }"
+        )
+        outer = [e for e in query.where.elements if isinstance(e, OptionalPattern)][0]
+        inner = [e for e in outer.pattern.elements if isinstance(e, OptionalPattern)]
+        assert len(inner) == 1
+
+    def test_algebra_query_str_round_trips(self):
+        text = (
+            'SELECT ?s WHERE { { ?s <http://e/p> ?o . } UNION { ?s <http://e/q> ?o . } '
+            'OPTIONAL { ?s <http://e/r> ?z . } FILTER(?o != "x" && ?s = ?s) } LIMIT 7'
+        )
+        query = parse_sparql(text)
+        again = parse_sparql(str(query))
+        assert again.where == query.where
+        assert again.limit == query.limit
+
+    def test_filter_variables_are_not_projected_by_star(self):
+        query = parse_sparql("SELECT * WHERE { ?s <http://e/p> ?o . FILTER(!BOUND(?z)) }")
+        assert query.answer_variables() == [Variable("s"), Variable("o")]
+
+
+class TestRejectionDiagnostics:
+    def test_group_by_rejected_with_position_and_hint(self):
+        query = "SELECT ?s WHERE { ?s <http://e/p> ?o . } GROUP BY ?s"
         with pytest.raises(SparqlSyntaxError) as excinfo:
             parse_sparql(query)
-        assert f"offset {query.index('FILTER')}" in str(excinfo.value)
+        message = str(excinfo.value)
+        assert "GROUP BY" in message
+        assert f"offset {query.index('GROUP')}" in message
+        assert "FILTER" in message and "UNION" in message and "OPTIONAL" in message
+
+    def test_order_by_rejected_with_position(self):
+        query = "SELECT ?s WHERE { ?s <http://e/p> ?o . } ORDER BY ?s"
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            parse_sparql(query)
+        message = str(excinfo.value)
+        assert "ORDER BY" in message
+        assert f"offset {query.index('ORDER')}" in message
+
+    def test_having_rejected_with_position(self):
+        query = "SELECT ?s WHERE { ?s <http://e/p> ?o . } HAVING (?s > 3)"
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            parse_sparql(query)
+        message = str(excinfo.value)
+        assert "HAVING" in message
+        assert f"offset {query.index('HAVING')}" in message
+
+    def test_property_path_rejected_with_position(self):
+        query = "PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:p/ex:q ?o . }"
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            parse_sparql(query)
+        message = str(excinfo.value)
+        assert "property paths" in message
+        assert f"offset {query.index('/ex:q')}" in message
+
+    def test_unsupported_filter_operator_rejected_with_position(self):
+        query = "SELECT ?s WHERE { ?s <http://e/p> ?o . FILTER(?o + 1 > 3) }"
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            parse_sparql(query)
+        message = str(excinfo.value)
+        assert "'+'" in message
+        assert f"offset {query.index('+')}" in message
 
 
 class TestSolutionModifiers:
