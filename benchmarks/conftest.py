@@ -13,6 +13,7 @@ figures can be inspected (and EXPERIMENTS.md regenerated) after a run.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -123,5 +124,54 @@ def record_result(results_dir):
                 return
         path.write_text(payload, encoding="utf-8")
         print(f"\n{text}\n[written to {path}]")
+
+    return write
+
+
+def _json_structure(payload):
+    """Reduce a JSON payload to its number-masked structure.
+
+    The JSON analogue of :func:`repro.bench.timing_fingerprint`: every
+    numeric leaf (a measurement) collapses to ``"#"`` while keys, strings
+    and the nesting shape survive.  Bools are kept — they encode outcomes,
+    not measurements.
+    """
+    if isinstance(payload, bool):
+        return payload
+    if isinstance(payload, (int, float)):
+        return "#"
+    if isinstance(payload, dict):
+        return {key: _json_structure(value) for key, value in payload.items()}
+    if isinstance(payload, list):
+        return [_json_structure(item) for item in payload]
+    return payload
+
+
+@pytest.fixture(scope="session")
+def record_json(results_dir):
+    """Return a writer that persists one ``BENCH_*.json`` trajectory entry.
+
+    Machine-readable companion to :func:`record_result`, with the same
+    churn policy: when the regenerated payload differs from the committed
+    file only in measured numbers (equal :func:`_json_structure`), the
+    committed file — and its committed numbers — is kept, so the perf
+    trajectory only moves when ``REPRO_BENCH_REFRESH=1`` re-records it or
+    the benchmark's structure genuinely changes.
+    """
+    refresh = os.environ.get("REPRO_BENCH_REFRESH", "") not in ("", "0")
+
+    def write(name: str, payload: dict) -> None:
+        path = results_dir / name
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if path.exists() and not refresh:
+            try:
+                committed = json.loads(path.read_text(encoding="utf-8"))
+            except ValueError:
+                committed = None
+            if committed is not None and _json_structure(committed) == _json_structure(payload):
+                print(f"[structure unchanged; kept committed numbers in {path}]")
+                return
+        path.write_text(text, encoding="utf-8")
+        print(f"[benchmark trajectory written to {path}]")
 
     return write

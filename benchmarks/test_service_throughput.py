@@ -41,7 +41,7 @@ def service_and_queries(bench_scale):
     return service, queries
 
 
-def test_service_throughput_scaling(service_and_queries, record_result):
+def test_service_throughput_scaling(service_and_queries, record_result, record_json):
     """Replay the workload at increasing client counts; plan cache must win."""
     service, queries = service_and_queries
     results = []
@@ -49,6 +49,15 @@ def test_service_throughput_scaling(service_and_queries, record_result):
         results.append(run_service_benchmark(service, queries, clients=clients, repeats=3))
     table = format_service_bench(results, "Service throughput (YAGO star+complex mix)")
     record_result("service_throughput.txt", table)
+    record_json(
+        "BENCH_service_throughput.json",
+        {
+            "benchmark": "service_throughput",
+            "workload": "YAGO star+complex mix",
+            "repeats": 3,
+            "levels": [result.as_dict() for result in results],
+        },
+    )
 
     total_requests = sum(r.requests for r in results)
     total_handled = sum(r.answered + r.timeouts for r in results)

@@ -24,7 +24,9 @@ def table1_setup(bench_scale):
     return store, engines, queries
 
 
-def test_table1_complex_queries_size_50(benchmark, table1_setup, bench_scale, record_result):
+def test_table1_complex_queries_size_50(
+    benchmark, table1_setup, bench_scale, record_result, record_json
+):
     """Run the Table 1 workload on every engine and record the summary."""
     _, engines, queries = table1_setup
 
@@ -37,6 +39,28 @@ def test_table1_complex_queries_size_50(benchmark, table1_setup, bench_scale, re
         format_workload_summary(
             results, "Table 1 — complex queries, 50 triple patterns, DBpedia-like"
         ),
+    )
+    record_json(
+        "BENCH_table1_complex50.json",
+        {
+            "benchmark": "table1_complex50",
+            "workload": "DBpedia-like complex, 50 triple patterns",
+            "timeout_seconds": bench_scale.timeout_seconds,
+            "engines": {
+                name: {
+                    "average_seconds": (
+                        round(result.average_seconds, 4)
+                        if result.average_seconds is not None
+                        else None
+                    ),
+                    "unanswered_percentage": round(result.unanswered_percentage, 2),
+                    "answered": len(result.answered),
+                    "queries": len(result.outcomes),
+                    "total_rows": result.total_rows,
+                }
+                for name, result in results.items()
+            },
+        },
     )
 
     amber = results["AMbER"]

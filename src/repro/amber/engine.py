@@ -30,6 +30,7 @@ from ..sparql.bindings import Binding, ResultSet
 from ..sparql.eval import BGPNode, compile_pattern, stream_plan
 from ..sparql.parser import parse_sparql
 from ..sparql.update import UpdateRequest, parse_update
+from ..telemetry.trace import span
 from ..timing import Deadline
 from .embeddings import combine_component_bindings, component_bindings
 from .matching import MatcherConfig, MultigraphMatcher, QueryTimeout
@@ -163,7 +164,8 @@ class QueryEngineBase:
                 plan = cache.get(query)
                 if plan is not None:
                     return plan
-            parsed = parse_sparql(query)
+            with span("sparql.parse"):
+                parsed = parse_sparql(query)
             plan = (parsed, self._prepare_parsed(parsed))
             if cache is not None:
                 cache.put(query, plan)
@@ -171,9 +173,14 @@ class QueryEngineBase:
         return query, self._prepare_parsed(query)
 
     def _prepare_parsed(self, parsed: SelectQuery) -> QueryMultigraph | AlgebraPlan:
-        if parsed.where is not None:
-            return AlgebraPlan(parsed.where, self.data)
-        return build_query_multigraph(parsed, self.data)
+        with span("sparql.prepare") as sp:
+            if parsed.where is not None:
+                plan = AlgebraPlan(parsed.where, self.data)
+                sp.annotate(kind="algebra", blocks=len(plan.blocks))
+                return plan
+            qgraph = build_query_multigraph(parsed, self.data)
+            sp.annotate(kind="bgp", vertices=len(qgraph.vertices))
+            return qgraph
 
     def query(
         self,
@@ -187,8 +194,11 @@ class QueryEngineBase:
         :class:`QueryTimeout` is raised when it is exceeded.
         """
         parsed, plan = self.prepare(query)
-        rows = self._solutions(parsed, plan, timeout_seconds, max_solutions)
-        return ResultSet.for_query(parsed, rows)
+        with span("engine.match") as sp:
+            rows = self._solutions(parsed, plan, timeout_seconds, max_solutions)
+            result = ResultSet.for_query(parsed, rows)
+            sp.annotate(rows=len(result))
+        return result
 
     def count(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> int:
         """Return the number of solution rows of ``query``.
@@ -203,33 +213,40 @@ class QueryEngineBase:
         # Rows of the (capped) stream needed to answer exactly; None = all.
         needed = None if limit is None else offset + limit
         cap = self.config.max_solutions
-        if parsed.distinct:
-            # Deduplication needs the projected rows, but only their set —
-            # the row list itself is never built.
-            variables = parsed.answer_variables()
-            seen: set[Binding] = set()
-            for row in self._solutions(parsed, plan, timeout_seconds, None):
-                seen.add(row.project(variables))
-                if needed is not None and len(seen) >= needed:
-                    break
-            total = len(seen)
-        else:
-            # Stop the stream early only when that cannot loosen the engine
-            # cap (query() applies the cap first, then slices LIMIT/OFFSET).
-            stream_cap = needed if needed is not None and (cap is None or needed < cap) else None
-            total = 0
-            for _ in self._solutions(parsed, plan, timeout_seconds, stream_cap):
-                total += 1
-                if needed is not None and total >= needed:
-                    break
+        with span("engine.match") as sp:
+            if parsed.distinct:
+                # Deduplication needs the projected rows, but only their set —
+                # the row list itself is never built.
+                variables = parsed.answer_variables()
+                seen: set[Binding] = set()
+                for row in self._solutions(parsed, plan, timeout_seconds, None):
+                    seen.add(row.project(variables))
+                    if needed is not None and len(seen) >= needed:
+                        break
+                total = len(seen)
+            else:
+                # Stop the stream early only when that cannot loosen the engine
+                # cap (query() applies the cap first, then slices LIMIT/OFFSET).
+                stream_cap = (
+                    needed if needed is not None and (cap is None or needed < cap) else None
+                )
+                total = 0
+                for _ in self._solutions(parsed, plan, timeout_seconds, stream_cap):
+                    total += 1
+                    if needed is not None and total >= needed:
+                        break
+            sp.annotate(rows=total)
         after_offset = max(0, total - offset)
         return after_offset if limit is None else min(after_offset, limit)
 
     def ask(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> bool:
         """Return True when the query has at least one solution."""
         parsed, plan = self.prepare(query)
-        for _ in self._solutions(parsed, plan, timeout_seconds, 1):
-            return True
+        with span("engine.match") as sp:
+            for _ in self._solutions(parsed, plan, timeout_seconds, 1):
+                sp.annotate(rows=1)
+                return True
+            sp.annotate(rows=0)
         return False
 
     # ------------------------------------------------------------------ #

@@ -23,6 +23,7 @@ from typing import Iterator
 
 from ..errors import QueryTimeout
 from ..index.manager import IndexSet
+from ..telemetry.trace import span
 from ..timing import Deadline
 from ..multigraph.builder import DataMultigraph
 from ..multigraph.query_graph import INCOMING, OUTGOING, QueryMultigraph, QueryVertex
@@ -165,10 +166,15 @@ class MultigraphMatcher:
         ordered_core = order_core_vertices(qgraph, decomposition, strategy=self.config.ordering)
         initial = ordered_core[0]
 
-        candidates = self._initial_candidates(qgraph, initial)
-        refined = self._process_vertex(qgraph.vertices[initial])
-        if refined is not None:
-            candidates &= refined
+        # The recursion below is the hot loop and stays uninstrumented; one
+        # span over the initial candidate generation captures the index
+        # pruning cost and the starting candidate-set size.
+        with span("amber.candidates", vertex=initial) as sp:
+            candidates = self._initial_candidates(qgraph, initial)
+            refined = self._process_vertex(qgraph.vertices[initial])
+            if refined is not None:
+                candidates &= refined
+            sp.annotate(candidates=len(candidates))
         if not candidates:
             return
 

@@ -40,6 +40,7 @@ import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from itertools import product
+from time import perf_counter
 from typing import Iterable, Iterator, Sequence
 
 from ..amber.engine import AmberEngine, BuildReport, PlanCache, QueryEngineBase
@@ -51,6 +52,7 @@ from ..multigraph.query_graph import QueryMultigraph
 from ..rdf.terms import IRI, BlankNode, Triple
 from ..sparql.bindings import Binding
 from ..sparql.update import UpdateRequest, parse_update
+from ..telemetry.trace import record_span, span, timed_iter
 from ..timing import Deadline
 from .mutation import ClusterMutator
 from .partition import ShardedData, partition_data
@@ -286,12 +288,20 @@ class ShardedEngine(QueryEngineBase):
         states: list[_JoinState] | None = None
         frontier: dict[int, frozenset[int]] = {}
         for star in stars:
-            relation = self._scatter_star(qgraph, star, frontier, deadline)
-            states = _join_star(star, relation, states, deadline)
+            with span("cluster.scatter", star_root=star.root, shards=self.shard_count) as sp:
+                relation = self._scatter_star(qgraph, star, frontier, deadline)
+                sp.annotate(matches=len(relation))
+            with span("cluster.join", star_root=star.root) as sp:
+                states = _join_star(star, relation, states, deadline)
+                if states:
+                    frontier = _frontier_of(states, deadline)
+                sp.annotate(
+                    states=len(states),
+                    frontier=sum(len(values) for values in frontier.values()) if states else 0,
+                )
             if not states:
                 return
-            frontier = _frontier_of(states, deadline)
-        for assigned in _expand_embeddings(states or [], deadline):
+        for assigned in timed_iter("cluster.expand", _expand_embeddings(states or [], deadline)):
             yield Binding(
                 {
                     qgraph.variable_of(query_vertex): self.data.entity(data_vertex)
@@ -310,16 +320,29 @@ class ShardedEngine(QueryEngineBase):
 
         Ownership partitions the anchors, so concatenating per-shard results
         in shard order is the exact, duplicate-free global star relation.
+
+        Worker-pool threads and processes do not inherit the request
+        thread's trace, so each shard's matching is timed where it runs
+        (the per-shard wall time travels back with the matches) and is
+        recorded here, on the request thread, with :func:`record_span`
+        — a no-op unless the request is traced.
         """
         restrict = frontier if frontier else None
         if self.executor == "serial" or self.workers <= 1 or self.shard_count == 1:
-            return [
-                match
-                for shard in range(self.shard_count)
-                for match in match_star(
+            relation: list[StarMatch] = []
+            for shard in range(self.shard_count):
+                begin = perf_counter()
+                matches = match_star(
                     self.shards[shard], qgraph, star, self.owner, shard, deadline, restrict
                 )
-            ]
+                record_span(
+                    "cluster.scatter.shard",
+                    perf_counter() - begin,
+                    shard=shard,
+                    matches=len(matches),
+                )
+                relation.extend(matches)
+            return relation
         pool = self._ensure_pool()
         if self.executor == "process":
             futures = [
@@ -329,20 +352,21 @@ class ShardedEngine(QueryEngineBase):
                 for shard in range(self.shard_count)
             ]
         else:
-            futures = [
-                pool.submit(
-                    match_star,
-                    self.shards[shard],
-                    qgraph,
-                    star,
-                    self.owner,
-                    shard,
-                    deadline,
-                    restrict,
+
+            def timed_match(shard: int):
+                begin = perf_counter()
+                matches = match_star(
+                    self.shards[shard], qgraph, star, self.owner, shard, deadline, restrict
                 )
-                for shard in range(self.shard_count)
-            ]
-        return [match for future in futures for match in future.result()]
+                return perf_counter() - begin, matches
+
+            futures = [pool.submit(timed_match, shard) for shard in range(self.shard_count)]
+        relation = []
+        for shard, future in enumerate(futures):
+            seconds, matches = future.result()
+            record_span("cluster.scatter.shard", seconds, shard=shard, matches=len(matches))
+            relation.extend(matches)
+        return relation
 
     # ------------------------------------------------------------------ #
     # worker pool plumbing
@@ -606,9 +630,15 @@ def _match_star_in_worker(
     star: StarQuery,
     remaining_seconds: float | None,
     restrict: dict[int, frozenset[int]] | None,
-) -> list[StarMatch]:
-    """Match one star on one shard inside a worker process."""
+) -> tuple[float, list[StarMatch]]:
+    """Match one star on one shard inside a worker process.
+
+    Returns ``(seconds, matches)`` — the wall time is measured here because
+    the worker process cannot see the request thread's trace.
+    """
     deadline = Deadline(remaining_seconds)
-    return match_star(
+    begin = perf_counter()
+    matches = match_star(
         _worker_engine(shard), qgraph, star, _WORKER_STATE["owner"], shard, deadline, restrict
     )
+    return perf_counter() - begin, matches

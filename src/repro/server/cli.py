@@ -100,6 +100,34 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable POST /update (the service answers queries only)",
     )
+    parser.add_argument(
+        "--metrics",
+        choices=("on", "off"),
+        default="on",
+        help="serve Prometheus metrics on GET /metrics (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tracing",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="per-query span tracing: 'auto' feeds the stage histograms and keeps "
+        "the full span tree only when EXPLAIN or the slow-query log needs it; "
+        "'on' always keeps the tree; 'off' disables instrumentation entirely "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--slow-query-log",
+        metavar="PATH",
+        default=None,
+        help="append queries slower than --slow-query-ms to this JSON-lines file "
+        "(default: disabled)",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=500.0,
+        help="slow-query threshold in milliseconds (default: %(default)s)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress per-request logging")
     return parser
 
@@ -136,6 +164,10 @@ def build_service(args: argparse.Namespace) -> EngineService:
         result_cache_size=args.result_cache,
         max_in_flight=args.max_in_flight,
         read_only=args.read_only,
+        metrics_enabled=getattr(args, "metrics", "on") == "on",
+        tracing=getattr(args, "tracing", "auto"),
+        slow_query_log_path=getattr(args, "slow_query_log", None),
+        slow_query_ms=getattr(args, "slow_query_ms", 500.0),
     )
     return EngineService(engine, config)
 
@@ -156,7 +188,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     server = serve(service, host=args.host, port=args.port, workers=args.workers, quiet=args.quiet)
     if not args.quiet:
-        print(f"serving SPARQL on {server.url}/sparql (stats: {server.url}/stats) — Ctrl-C stops")
+        print(
+            f"serving SPARQL on {server.url}/sparql "
+            f"(stats: {server.url}/stats, metrics: {server.url}/metrics) — Ctrl-C stops"
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

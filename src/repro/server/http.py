@@ -15,6 +15,11 @@ engine's SELECT/UPDATE fragments:
 * ``GET /stats`` exposes the service counters, cache statistics, latency
   percentiles, write/lock statistics and the offline-stage
   :class:`BuildReport`;
+* ``GET /metrics`` serves the Prometheus text exposition (404 when the
+  service was configured with ``metrics_enabled=False``);
+* ``?explain=1`` on ``/sparql`` — or a query prefixed with ``EXPLAIN`` —
+  returns the annotated plan (stage timings, per-shard scatter timings,
+  cardinalities, cache disposition) as JSON instead of the result rows;
 * ``GET /health`` is a trivial liveness probe.
 
 Requests run on a bounded worker pool (stdlib only); error mapping is
@@ -35,12 +40,19 @@ from ..amber.mutation import UpdateError
 from ..errors import QueryTimeout, UnsupportedQueryError
 from ..sparql.bindings import ResultSet
 from ..sparql.tokenizer import SparqlSyntaxError
-from .service import EngineService, ServiceConfig, ServiceOverloaded, ServiceReadOnly
+from .service import (
+    EngineService,
+    ServiceConfig,
+    ServiceOverloaded,
+    ServiceReadOnly,
+    split_explain,
+)
 
 __all__ = ["SparqlHTTPServer", "SparqlRequestHandler", "serve"]
 
 JSON_MEDIA_TYPE = "application/sparql-results+json"
 CSV_MEDIA_TYPE = "text/csv; charset=utf-8"
+PROMETHEUS_MEDIA_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Upper bound on POST bodies; a query has no business being larger, and the
 #: body is buffered in memory before parsing, so the cap guards the process.
@@ -64,6 +76,12 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(405, "MethodNotAllowed", "updates must be POSTed")
         elif url.path == "/stats":
             self._send_json(200, self.server.service.stats())
+        elif url.path == "/metrics":
+            exposition = self.server.service.prometheus()
+            if exposition is None:
+                self._send_error_json(404, "MetricsDisabled", "metrics are disabled")
+            else:
+                self._send_body(200, exposition.encode("utf-8"), PROMETHEUS_MEDIA_TYPE)
         elif url.path == "/health":
             self._send_json(200, {"status": "ok"})
         else:
@@ -131,8 +149,15 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._send_error_json(400, "BadParameter", str(exc))
             return
+        explain_param = (params.get("explain") or [""])[0].lower() in ("1", "true", "yes", "on")
+        explain_prefix, _ = split_explain(query)
         service: EngineService = self.server.service
         try:
+            if explain_param or explain_prefix:
+                self._send_json(
+                    200, service.explain(query, timeout_seconds=timeout, max_rows=max_rows)
+                )
+                return
             response = service.execute(query, timeout_seconds=timeout, max_rows=max_rows)
         except (SparqlSyntaxError, UnsupportedQueryError, ValueError) as exc:
             self._send_error_json(400, type(exc).__name__, str(exc))
@@ -294,6 +319,9 @@ class SparqlHTTPServer(HTTPServer):
     def server_close(self) -> None:
         super().server_close()
         self._executor.shutdown(wait=False, cancel_futures=True)
+        # Safe even when the service keeps running: the slow-query log
+        # reopens lazily on its next write.
+        self.service.close()
 
     @property
     def url(self) -> str:

@@ -13,30 +13,43 @@ for the readers already in flight (each bounded by the query timeout).
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
 __all__ = ["ReadWriteLock"]
 
 
 class ReadWriteLock:
-    """A writer-preferring reader-writer lock (not reentrant)."""
+    """A writer-preferring reader-writer lock (not reentrant).
 
-    def __init__(self) -> None:
+    ``on_wait`` is an optional observability hook: it is called as
+    ``on_wait(side, seconds)`` with ``side`` of ``"read"`` or ``"write"``
+    after every acquisition that had to block, and with 0.0 for
+    uncontended ones — the service feeds reader/writer wait-time
+    histograms from it.  The clock is only read when the hook is set, so
+    an unhooked lock costs exactly what it did before.
+    """
+
+    def __init__(self, on_wait: Callable[[str, float], None] | None = None) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self._on_wait = on_wait
 
     # ------------------------------------------------------------------ #
     # reader side
     # ------------------------------------------------------------------ #
     def acquire_read(self) -> None:
         """Block until no writer is active or waiting, then enter as a reader."""
+        begin = time.perf_counter() if self._on_wait is not None else 0.0
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        if self._on_wait is not None:
+            self._on_wait("read", time.perf_counter() - begin)
 
     def release_read(self) -> None:
         with self._cond:
@@ -58,6 +71,7 @@ class ReadWriteLock:
     # ------------------------------------------------------------------ #
     def acquire_write(self) -> None:
         """Block until the lock is exclusively held by the caller."""
+        begin = time.perf_counter() if self._on_wait is not None else 0.0
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -66,6 +80,8 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+        if self._on_wait is not None:
+            self._on_wait("write", time.perf_counter() - begin)
 
     def release_write(self) -> None:
         with self._cond:

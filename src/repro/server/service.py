@@ -12,7 +12,10 @@ adds what the bare engine deliberately does not have:
   concurrently, the rest are rejected with :class:`ServiceOverloaded`
   rather than piling onto the worker pool;
 * per-request **timeout and row-limit enforcement** with service-wide caps;
-* counters and latency percentiles surfaced by the ``/stats`` endpoint.
+* counters and latency percentiles surfaced by the ``/stats`` endpoint;
+* **telemetry** — a Prometheus registry behind ``GET /metrics``, optional
+  per-request span tracing (stage histograms, ``EXPLAIN`` plans) and a
+  slow-query log, wired through :class:`~.telemetry.ServiceTelemetry`.
 """
 
 from __future__ import annotations
@@ -21,16 +24,21 @@ import math
 import threading
 import time
 from dataclasses import dataclass
+from typing import Callable
 
-from ..amber.engine import AmberEngine
+from ..amber.engine import AlgebraPlan, AmberEngine
 from ..amber.mutation import UpdateResult, resolve_loads
 from ..errors import QueryTimeout, ReproError, UnsupportedQueryError
 from ..sparql.bindings import ResultSet
+from ..sparql.eval import plan_outline
 from ..sparql.tokenizer import SparqlSyntaxError
 from ..sparql.update import LoadData, UpdateRequest, parse_update
+from ..telemetry.slowlog import shard_breakdown, stage_breakdown
+from ..telemetry.trace import SpanRecord
 from .cache import LRUCache
 from .rwlock import ReadWriteLock
 from .stats import LatencyRecorder
+from .telemetry import ServiceTelemetry
 
 __all__ = [
     "SPARQL_FRAGMENT",
@@ -38,8 +46,10 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceReadOnly",
     "QueryResponse",
+    "ScalarResponse",
     "UpdateResponse",
     "EngineService",
+    "split_explain",
 ]
 
 #: The SELECT fragment every engine behind this service answers, surfaced by
@@ -94,6 +104,30 @@ class ServiceConfig:
     #: keeps a burst of updates from pinning every HTTP worker on the lock
     #: and starving queries of pool threads.
     max_pending_updates: int = 4
+    #: Maintain the Prometheus registry and serve ``GET /metrics``.
+    metrics_enabled: bool = True
+    #: Span-tracing mode: ``"auto"`` (metrics-only trace; the full span tree
+    #: is kept only when EXPLAIN or the slow-query log needs it), ``"on"``
+    #: (always keep the tree) or ``"off"`` (every instrumentation point is a
+    #: no-op; an explicit EXPLAIN still traces its own request).
+    tracing: str = "auto"
+    #: JSON-lines slow-query log path (None disables the log).
+    slow_query_log_path: str | None = None
+    #: Threshold, in milliseconds, above which a query is logged as slow.
+    slow_query_ms: float = 500.0
+
+
+def split_explain(query: str) -> tuple[bool, str]:
+    """Detect and strip a leading ``EXPLAIN`` keyword (case-insensitive).
+
+    ``EXPLAIN`` is not SPARQL; it is this service's explain marker, accepted
+    as a query prefix in addition to the ``explain=1`` request parameter.
+    Returns ``(is_explain, query_without_prefix)``.
+    """
+    stripped = query.lstrip()
+    if stripped[:7].upper() == "EXPLAIN" and (len(stripped) == 7 or stripped[7].isspace()):
+        return True, stripped[7:].lstrip()
+    return False, query
 
 
 @dataclass(frozen=True)
@@ -103,6 +137,14 @@ class QueryResponse:
     result: ResultSet
     seconds: float
     from_result_cache: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarResponse:
+    """One answered count/ask request: the scalar answer plus timing."""
+
+    value: int | bool
+    seconds: float
 
 
 @dataclass(frozen=True)
@@ -192,9 +234,15 @@ class EngineService:
         self._counters = _Counters()
         self._update_counters = _UpdateCounters()
         self._lock = threading.Lock()
+        self.telemetry = ServiceTelemetry(
+            metrics_enabled=self.config.metrics_enabled,
+            tracing=self.config.tracing,
+            slow_query_log_path=self.config.slow_query_log_path,
+            slow_query_ms=self.config.slow_query_ms,
+        )
         # Readers (queries, snapshots) share the engine; writers (updates)
         # get it exclusively, so a query never sees a half-applied update.
-        self._rwlock = ReadWriteLock()
+        self._rwlock = ReadWriteLock(on_wait=self.telemetry.lock_wait_observer())
         self.started_at = time.time()
 
     # ------------------------------------------------------------------ #
@@ -221,6 +269,7 @@ class EngineService:
         except ValueError:
             with self._lock:
                 self._counters.invalid_parameters += 1
+            self.telemetry.query_finished("query", "invalid")
             raise
 
         # The cache key carries the engine's data_version, so entries are
@@ -234,33 +283,176 @@ class EngineService:
                 with self._lock:
                     self._counters.answered += 1
                 self.latency.record(0.0)
+                self.telemetry.query_finished("query", "answered", 0.0, query)
                 return QueryResponse(result=cached, seconds=0.0, from_result_cache=True)
 
-        self._admit()
-        start = time.perf_counter()
-        try:
+        def run() -> ResultSet:
             # The result-cache put happens inside the read lock, where
             # data_version cannot move: the entry is keyed by exactly the
             # engine state it was computed against.
-            with self._rwlock.read_locked():
-                result = self.engine.query(
-                    query, timeout_seconds=effective_timeout, max_solutions=effective_rows
-                )
-                if self.config.result_cache_size > 0:
-                    self.result_cache.put(
-                        (query, effective_rows, self.engine.data_version), result
-                    )
+            result = self.engine.query(
+                query, timeout_seconds=effective_timeout, max_solutions=effective_rows
+            )
+            if self.config.result_cache_size > 0:
+                self.result_cache.put((query, effective_rows, self.engine.data_version), result)
+            return result
+
+        result, seconds, _ = self._run_read("query", query, run)
+        return QueryResponse(result=result, seconds=seconds)
+
+    def count(self, query: str, timeout_seconds: float | None = None) -> ScalarResponse:
+        """Answer ``engine.count`` under the same guards/accounting as execute.
+
+        Shares the request counters and the latency recorder with the query
+        path, so ``/stats`` and ``/metrics`` totals cover every read kind.
+        """
+        with self._lock:
+            self._counters.received += 1
+        try:
+            effective_timeout = self._effective_timeout(timeout_seconds)
+        except ValueError:
+            with self._lock:
+                self._counters.invalid_parameters += 1
+            self.telemetry.query_finished("count", "invalid")
+            raise
+        value, seconds, _ = self._run_read(
+            "count", query, lambda: self.engine.count(query, timeout_seconds=effective_timeout)
+        )
+        return ScalarResponse(value=value, seconds=seconds)
+
+    def ask(self, query: str, timeout_seconds: float | None = None) -> ScalarResponse:
+        """Answer ``engine.ask`` under the same guards/accounting as execute."""
+        with self._lock:
+            self._counters.received += 1
+        try:
+            effective_timeout = self._effective_timeout(timeout_seconds)
+        except ValueError:
+            with self._lock:
+                self._counters.invalid_parameters += 1
+            self.telemetry.query_finished("ask", "invalid")
+            raise
+        value, seconds, _ = self._run_read(
+            "ask", query, lambda: self.engine.ask(query, timeout_seconds=effective_timeout)
+        )
+        return ScalarResponse(value=value, seconds=seconds)
+
+    def explain(
+        self,
+        query: str,
+        timeout_seconds: float | None = None,
+        max_rows: int | None = None,
+    ) -> dict:
+        """Execute a query with full tracing and return its annotated plan.
+
+        Accepts the query with or without a leading ``EXPLAIN`` marker.  The
+        result cache is bypassed (a cached answer has no stage timings to
+        report) and the span tree is always kept, regardless of the tracing
+        mode.  The response is JSON-ready: the plan outline, the span tree,
+        per-stage and per-shard breakdowns, row/variable counts and the
+        cache disposition — without the serialized result rows.
+        """
+        _, text = split_explain(query)
+        with self._lock:
+            self._counters.received += 1
+        try:
+            effective_timeout = self._effective_timeout(timeout_seconds)
+            effective_rows = self._effective_rows(max_rows)
+        except ValueError:
+            with self._lock:
+                self._counters.invalid_parameters += 1
+            self.telemetry.query_finished("explain", "invalid")
+            raise
+
+        cache = self._cache_disposition(text)
+        cache["result"] = "bypassed"
+
+        def run() -> ResultSet:
+            return self.engine.query(
+                text, timeout_seconds=effective_timeout, max_solutions=effective_rows
+            )
+
+        result, seconds, trace_root = self._run_read(
+            "explain", text, run, force_tree=True, cache=cache
+        )
+        # Report the root span's wall time: the stage spans are its direct
+        # children, so their durations sum against this total (admission and
+        # trace setup, which no stage covers, stay out of the denominator).
+        if trace_root is not None:
+            seconds = trace_root.seconds
+        # The outline is built from the prepared plan *outside* the trace
+        # (no duplicate parse/prepare spans) but under the read lock: plan
+        # construction reads engine dictionaries a writer may be resizing.
+        with self._rwlock.read_locked():
+            _, plan = self.engine.prepare(text)
+            data_version = self.engine.data_version
+        outline = (
+            plan_outline(plan.root)
+            if isinstance(plan, AlgebraPlan)
+            else {
+                "op": "bgp",
+                "vertices": len(plan.vertices),
+                "components": len(plan.connected_components()),
+            }
+        )
+        return {
+            "query": text,
+            "seconds": round(seconds, 6),
+            "rows": len(result),
+            "variables": [variable.name for variable in result.variables],
+            "data_version": data_version,
+            "cache": cache,
+            "plan": outline,
+            "stages": stage_breakdown(trace_root),
+            "shards": shard_breakdown(trace_root),
+            "trace": trace_root.as_dict() if trace_root is not None else None,
+        }
+
+    def _run_read(
+        self,
+        kind: str,
+        query: str,
+        runner: Callable,
+        force_tree: bool = False,
+        cache: dict | None = None,
+    ) -> tuple:
+        """Admission, read lock, tracing and terminal accounting of one read.
+
+        ``runner`` executes with the read lock held and an active trace (per
+        the telemetry policy).  Returns ``(value, seconds, trace_root)``;
+        every terminal outcome — including rejection — is reported to the
+        telemetry layer so ``/stats`` and ``/metrics`` totals agree.
+        """
+        try:
+            self._admit()
+        except ServiceOverloaded:
+            self.telemetry.query_finished(kind, "rejected")
+            raise
+        if cache is None:
+            cache = self._cache_disposition(query)
+        start = time.perf_counter()
+        trace_root: SpanRecord | None = None
+        try:
+            with self.telemetry.query_trace(force_tree=force_tree) as trace:
+                with self._rwlock.read_locked():
+                    value = runner()
+                if trace is not None and trace.keep_tree:
+                    trace_root = trace.root
         except QueryTimeout:
             with self._lock:
                 self._counters.timeouts += 1
+            self.telemetry.query_finished(
+                kind, "timeout", time.perf_counter() - start, query, trace_root, cache
+            )
             raise
         except (SparqlSyntaxError, UnsupportedQueryError):
             with self._lock:
                 self._counters.parse_errors += 1
+            self.telemetry.query_finished(kind, "parse_error")
             raise
         except Exception:
             with self._lock:
                 self._counters.failures += 1
+            self.telemetry.query_finished(kind, "failed")
             raise
         finally:
             self._release()
@@ -268,7 +460,21 @@ class EngineService:
         self.latency.record(seconds)
         with self._lock:
             self._counters.answered += 1
-        return QueryResponse(result=result, seconds=seconds)
+        self.telemetry.query_finished(kind, "answered", seconds, query, trace_root, cache)
+        return value, seconds, trace_root
+
+    def _cache_disposition(self, query: str) -> dict[str, str]:
+        """Pre-execution plan/result cache disposition of one query text.
+
+        Uses ``in`` (which :class:`LRUCache` answers without touching its
+        hit/miss statistics) so probing never skews the cache counters.
+        """
+        try:
+            plan = "hit" if query in self.plan_cache else "miss"
+        except TypeError:  # an external cache without __contains__
+            plan = "unknown"
+        result = "disabled" if self.config.result_cache_size <= 0 else "miss"
+        return {"plan": plan, "result": result}
 
     # ------------------------------------------------------------------ #
     # update path
@@ -296,6 +502,7 @@ class EngineService:
         if self.config.read_only:
             with self._lock:
                 self._update_counters.rejected_read_only += 1
+            self.telemetry.update_finished("read_only")
             raise ServiceReadOnly("this service is read-only; updates are disabled")
         # Admission control for writes: updates serialize on the write lock,
         # so beyond a short queue each extra pending update just pins one
@@ -303,6 +510,7 @@ class EngineService:
         with self._lock:
             if self._update_counters.pending >= self.config.max_pending_updates:
                 self._update_counters.rejected += 1
+                self.telemetry.update_finished("rejected")
                 raise ServiceOverloaded(
                     f"{self._update_counters.pending} updates pending "
                     f"(limit {self.config.max_pending_updates}); retry later"
@@ -319,6 +527,7 @@ class EngineService:
         except Exception:
             with self._lock:
                 self._update_counters.errors += 1
+            self.telemetry.update_finished("error")
             raise
         finally:
             with self._lock:
@@ -329,6 +538,8 @@ class EngineService:
             self._update_counters.applied += 1
             self._update_counters.triples_inserted += result.inserted
             self._update_counters.triples_deleted += result.deleted
+        self.telemetry.update_finished("applied", seconds)
+        self.telemetry.triples_mutated(result.inserted, result.deleted)
         return UpdateResponse(result=result, seconds=seconds, data_version=data_version)
 
     def _prefetch_loads(self, request: UpdateRequest) -> UpdateRequest:
@@ -406,6 +617,29 @@ class EngineService:
     # ------------------------------------------------------------------ #
     # statistics
     # ------------------------------------------------------------------ #
+    def prometheus(self) -> str | None:
+        """Render the Prometheus text exposition, or None when disabled.
+
+        Gauges and mirrored cache counters are synchronised at scrape time;
+        request counters and histograms accumulate as requests finish.
+        """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return None
+        with self._lock:
+            in_flight = self._counters.in_flight
+        telemetry.sync_gauges(time.time() - self.started_at, in_flight, self.engine.data_version)
+        if hasattr(self.plan_cache, "stats"):
+            stats = self.plan_cache.stats()
+            telemetry.sync_cache("plan", stats.hits, stats.misses)
+        stats = self.result_cache.stats()
+        telemetry.sync_cache("result", stats.hits, stats.misses)
+        return telemetry.registry.expose()
+
+    def close(self) -> None:
+        """Release telemetry resources (the slow-query log file handle)."""
+        self.telemetry.close()
+
     def stats(self) -> dict:
         """A JSON-serializable snapshot for the ``/stats`` endpoint."""
         with self._lock:
@@ -457,6 +691,25 @@ class EngineService:
                 "default_timeout_seconds": self.config.default_timeout_seconds,
                 "max_rows": self.config.max_rows,
                 "max_in_flight": self.config.max_in_flight,
+            },
+            "telemetry": {
+                "metrics_enabled": self.telemetry.enabled,
+                "tracing": self.telemetry.tracing,
+                "slow_query_log": (
+                    str(self.telemetry.slow_log.path)
+                    if self.telemetry.slow_log is not None
+                    else None
+                ),
+                "slow_query_ms": (
+                    self.telemetry.slow_log.threshold_ms
+                    if self.telemetry.slow_log is not None
+                    else None
+                ),
+                "slow_queries": (
+                    int(self.telemetry.slow_queries_total.value())
+                    if self.telemetry.enabled
+                    else None
+                ),
             },
             "sparql_fragment": list(SPARQL_FRAGMENT),
         }

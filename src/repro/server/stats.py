@@ -1,85 +1,26 @@
 """Latency accounting for the query service: counters and percentiles.
 
-The recorder keeps a bounded reservoir of the most recent observations so
-that ``/stats`` can report p50/p90/p99 without unbounded memory, plus exact
-running totals for count/sum.
+The recorder is now a thin façade over :class:`repro.telemetry.Summary` —
+the bounded-reservoir percentile machinery lives in the telemetry
+subsystem, shared with the metrics registry — kept here so the ``/stats``
+JSON shape and the historical import path stay exactly as they were.
+
+The ``observer`` hook mirrors every observation into a second consumer;
+:class:`repro.server.EngineService` points it at the registry's latency
+histogram, which is how ``/stats`` and ``/metrics`` report the same totals
+without double bookkeeping.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
-from typing import Sequence
+from ..telemetry.metrics import Summary, nearest_rank, summarize_latencies
 
 __all__ = ["LatencyRecorder", "nearest_rank", "summarize_latencies"]
 
 
-def nearest_rank(sorted_sample: Sequence[float], fraction: float) -> float | None:
-    """Nearest-rank percentile of an already **sorted** sample (0..1)."""
-    if not sorted_sample:
-        return None
-    rank = min(len(sorted_sample) - 1, max(0, round(fraction * (len(sorted_sample) - 1))))
-    return sorted_sample[rank]
-
-
-def summarize_latencies(latencies: Sequence[float], count: int | None = None) -> dict:
-    """Count/mean/p50/p90/p99 summary of a latency sample (seconds).
-
-    ``count`` overrides the reported count when the sample is a bounded
-    window over a longer-running total (the recorder's case).
-    """
-    sample = sorted(latencies)
-    total = sum(sample)
-    reported = len(sample) if count is None else count
-
-    def pick(fraction: float) -> float | None:
-        value = nearest_rank(sample, fraction)
-        return round(value, 6) if value is not None else None
-
-    return {
-        "count": reported,
-        "mean_seconds": round(total / len(sample), 6) if sample else None,
-        "p50_seconds": pick(0.50),
-        "p90_seconds": pick(0.90),
-        "p99_seconds": pick(0.99),
-    }
-
-
-class LatencyRecorder:
+class LatencyRecorder(Summary):
     """Thread-safe recorder of request latencies (seconds)."""
-
-    def __init__(self, window: int = 2048):
-        if window <= 0:
-            raise ValueError("latency window must be positive")
-        self._window: deque[float] = deque(maxlen=window)
-        self._lock = threading.Lock()
-        self._count = 0
-        self._total = 0.0
 
     def record(self, seconds: float) -> None:
         """Add one observation."""
-        with self._lock:
-            self._window.append(seconds)
-            self._count += 1
-            self._total += seconds
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-    def percentile(self, fraction: float) -> float | None:
-        """Return the ``fraction`` percentile (0..1) over the recent window."""
-        with self._lock:
-            sample = sorted(self._window)
-        return nearest_rank(sample, fraction)
-
-    def snapshot(self) -> dict[str, float | int | None]:
-        """Return count, mean and p50/p90/p99 over the recent window."""
-        with self._lock:
-            sample = list(self._window)
-            count, total = self._count, self._total
-        summary = summarize_latencies(sample, count=count)
-        # The exact running mean beats the windowed one when they differ.
-        summary["mean_seconds"] = round(total / count, 6) if count else None
-        return summary
+        self.observe(seconds)

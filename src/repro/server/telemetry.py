@@ -1,0 +1,248 @@
+"""Service-side telemetry wiring: registry, span sink and the slow-query log.
+
+:class:`ServiceTelemetry` owns everything observable about one
+:class:`~repro.server.EngineService`:
+
+* a per-service :class:`~repro.telemetry.MetricsRegistry` (no process
+  globals — tests build many services per process) with the request
+  counters, latency/stage histograms and gauges behind ``GET /metrics``;
+* the **span sink** that turns finished trace spans into stage and
+  per-shard histogram observations;
+* the tracing policy: with ``tracing="auto"`` (the default) requests run
+  a *metrics-only* trace — spans feed the histograms, no tree is kept —
+  unless the slow-query log or an ``EXPLAIN`` needs the full tree;
+  ``tracing="on"`` always keeps the tree, ``tracing="off"`` makes every
+  instrumentation point a no-op (only an explicit ``EXPLAIN`` still
+  traces, since the plan tree *is* its answer);
+* the optional :class:`~repro.telemetry.SlowQueryLog`.
+
+The metric families:
+
+====================================  ==========================================
+``repro_queries_total``               read requests by ``kind`` (query/count/
+                                      ask/explain) and terminal ``status``
+``repro_query_seconds``               end-to-end latency histogram by ``kind``
+``repro_updates_total``               update requests by terminal ``status``
+``repro_update_seconds``              update latency histogram
+``repro_triples_mutated_total``       inserted/deleted triples by ``op``
+``repro_stage_seconds``               per-stage latency histogram by ``stage``
+                                      (span names: ``sparql.parse``,
+                                      ``engine.match``, ``cluster.scatter`` …)
+``repro_scatter_shard_seconds``       per-shard star-matching time by ``shard``
+``repro_rwlock_wait_seconds``         reader/writer lock wait by ``side``
+``repro_cache_requests_total``        plan/result cache lookups by ``cache``
+                                      and ``outcome`` (mirrored at scrape time)
+``repro_slow_queries_total``          requests that crossed the slow threshold
+``repro_in_flight_queries``           currently evaluating queries (gauge)
+``repro_uptime_seconds``              service uptime (gauge)
+``repro_data_version``                engine mutation counter (gauge)
+====================================  ==========================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.slowlog import SlowQueryLog
+from ..telemetry.trace import SpanRecord, Trace, start_trace
+
+__all__ = ["ServiceTelemetry", "TRACING_MODES"]
+
+#: Accepted values of ``ServiceConfig.tracing``.
+TRACING_MODES = ("auto", "on", "off")
+
+
+class ServiceTelemetry:
+    """Metrics registry + tracing policy + slow-query log of one service."""
+
+    def __init__(
+        self,
+        metrics_enabled: bool = True,
+        tracing: str = "auto",
+        slow_query_log_path: str | None = None,
+        slow_query_ms: float = 500.0,
+    ):
+        if tracing not in TRACING_MODES:
+            raise ValueError(f"unknown tracing mode {tracing!r} (expected one of {TRACING_MODES})")
+        self.enabled = metrics_enabled
+        self.tracing = tracing
+        self.slow_log = (
+            SlowQueryLog(slow_query_log_path, slow_query_ms)
+            if slow_query_log_path is not None
+            else None
+        )
+        self.registry = MetricsRegistry()
+        reg = self.registry
+        self.queries_total = reg.counter(
+            "repro_queries_total",
+            "Read requests by kind (query/count/ask/explain) and terminal status.",
+            labelnames=("kind", "status"),
+        )
+        self.query_seconds = reg.histogram(
+            "repro_query_seconds",
+            "End-to-end read-request latency in seconds, by kind.",
+            labelnames=("kind",),
+        )
+        self.updates_total = reg.counter(
+            "repro_updates_total", "Update requests by terminal status.", labelnames=("status",)
+        )
+        self.update_seconds = reg.histogram(
+            "repro_update_seconds", "End-to-end update latency in seconds."
+        )
+        self.triples_mutated_total = reg.counter(
+            "repro_triples_mutated_total",
+            "Triples inserted/deleted by applied updates, by op.",
+            labelnames=("op",),
+        )
+        self.stage_seconds = reg.histogram(
+            "repro_stage_seconds",
+            "Per-stage time in seconds, labelled by span name.",
+            labelnames=("stage",),
+        )
+        self.scatter_shard_seconds = reg.histogram(
+            "repro_scatter_shard_seconds",
+            "Per-shard star-matching time in seconds during cluster scatter.",
+            labelnames=("shard",),
+        )
+        self.rwlock_wait_seconds = reg.histogram(
+            "repro_rwlock_wait_seconds",
+            "Time spent waiting for the engine reader-writer lock, by side.",
+            labelnames=("side",),
+        )
+        self.cache_requests_total = reg.counter(
+            "repro_cache_requests_total",
+            "Cache lookups by cache (plan/result) and outcome (hit/miss).",
+            labelnames=("cache", "outcome"),
+        )
+        self.slow_queries_total = reg.counter(
+            "repro_slow_queries_total", "Requests that crossed the slow-query threshold."
+        )
+        self.in_flight = reg.gauge(
+            "repro_in_flight_queries", "Queries currently evaluating (admission-controlled)."
+        )
+        self.uptime_seconds = reg.gauge("repro_uptime_seconds", "Service uptime in seconds.")
+        self.data_version = reg.gauge(
+            "repro_data_version", "Engine mutation counter (bumped per applied update batch)."
+        )
+
+    # ------------------------------------------------------------------ #
+    # tracing policy
+    # ------------------------------------------------------------------ #
+    def lock_wait_observer(self):
+        """The ``ReadWriteLock`` ``on_wait`` hook, or None when metrics are off."""
+        if not self.enabled:
+            return None
+
+        def observe(side: str, seconds: float) -> None:
+            self.rwlock_wait_seconds.observe(seconds, side=side)
+
+        return observe
+
+    @contextmanager
+    def query_trace(self, force_tree: bool = False) -> Iterator[Trace | None]:
+        """Activate the per-request trace this configuration calls for.
+
+        Yields None (no tracing at all — instrumentation points stay no-ops)
+        when tracing is off and nothing forces a tree.  ``force_tree`` is the
+        ``EXPLAIN`` path: the span tree is the response, so it overrides
+        ``tracing="off"``.
+        """
+        if self.tracing == "off" and not force_tree:
+            yield None
+            return
+        keep_tree = force_tree or self.tracing == "on" or self.slow_log is not None
+        sink = self._sink if self.enabled else None
+        if sink is None and not keep_tree:
+            yield None
+            return
+        with start_trace("query", sink=sink, keep_tree=keep_tree) as trace:
+            yield trace
+
+    def _sink(self, record: SpanRecord) -> None:
+        """Feed one finished span into the stage/shard histograms."""
+        name = record.name
+        if name == "query":
+            # The root's wall time is recorded as repro_query_seconds by the
+            # service (it also covers admission + cache probing).
+            return
+        if name == "cluster.scatter.shard":
+            self.scatter_shard_seconds.observe(
+                record.seconds, shard=str(record.attributes.get("shard", ""))
+            )
+            return
+        self.stage_seconds.observe(record.seconds, stage=name)
+
+    # ------------------------------------------------------------------ #
+    # request accounting
+    # ------------------------------------------------------------------ #
+    def query_finished(
+        self,
+        kind: str,
+        status: str,
+        seconds: float | None = None,
+        query: str | None = None,
+        trace_root: SpanRecord | None = None,
+        cache: dict | None = None,
+    ) -> None:
+        """Record one terminal read request (all statuses, incl. rejections).
+
+        ``seconds`` is only observed into the latency histogram when the
+        request actually evaluated (answered), matching the ``/stats``
+        latency summary.  Slow-log entries are written here too, so the
+        query/count/ask/explain paths all share one disposition point.
+        """
+        if self.enabled:
+            self.queries_total.inc(kind=kind, status=status)
+            if seconds is not None and status == "answered":
+                self.query_seconds.observe(seconds, kind=kind)
+        if (
+            self.slow_log is not None
+            and seconds is not None
+            and query is not None
+            and status in ("answered", "timeout")
+            and self.slow_log.should_log(seconds)
+        ):
+            if self.enabled:
+                self.slow_queries_total.inc()
+            self.slow_log.log(
+                query, seconds, kind=kind, status=status, trace_root=trace_root, cache=cache
+            )
+
+    def update_finished(self, status: str, seconds: float | None = None) -> None:
+        """Record one terminal update request."""
+        if self.enabled:
+            self.updates_total.inc(status=status)
+            if seconds is not None and status == "applied":
+                self.update_seconds.observe(seconds)
+
+    def triples_mutated(self, inserted: int, deleted: int) -> None:
+        if self.enabled:
+            if inserted:
+                self.triples_mutated_total.inc(inserted, op="insert")
+            if deleted:
+                self.triples_mutated_total.inc(deleted, op="delete")
+
+    # ------------------------------------------------------------------ #
+    # scrape-time synchronisation
+    # ------------------------------------------------------------------ #
+    def sync_gauges(self, uptime: float, in_flight: int, data_version: int) -> None:
+        self.uptime_seconds.set(round(uptime, 3))
+        self.in_flight.set(in_flight)
+        self.data_version.set(data_version)
+
+    def sync_cache(self, cache: str, hits: int, misses: int) -> None:
+        """Mirror a cache's own monotone hit/miss counters into the registry.
+
+        The LRU caches keep exact counters already; re-counting them here
+        per lookup would double the bookkeeping, so the totals are copied
+        at scrape time instead.
+        """
+        self.cache_requests_total.set_total(hits, cache=cache, outcome="hit")
+        self.cache_requests_total.set_total(misses, cache=cache, outcome="miss")
+
+    def close(self) -> None:
+        """Release the slow-query log file handle (idempotent)."""
+        if self.slow_log is not None:
+            self.slow_log.close()

@@ -41,6 +41,7 @@ from .algebra import (
 )
 from .bindings import Binding
 from .expressions import And, Expression, expression_variables, filter_passes
+from ..telemetry.trace import current_trace, timed_iter
 from ..timing import Deadline
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "UnionNode",
     "compile_pattern",
     "evaluate_plan",
+    "plan_outline",
     "stream_plan",
 ]
 
@@ -250,7 +252,32 @@ def stream_plan(node: PlanNode, solver: BGPSolver, deadline: Deadline) -> Iterat
     buckets its (materialised) right operand and streams the left.  So a
     consumer that stops early — ``ask()``, a row cap, ``LIMIT`` — never
     forces the whole multiset of the outermost operator chain.
+
+    When the request is traced, every operator's stream is wrapped in
+    :func:`~repro.telemetry.trace.timed_iter`, charging each operator the
+    time spent inside its ``next()`` (inclusive of its children) and the
+    number of rows it produced.
     """
+    if current_trace() is None or isinstance(node, EmptyNode):
+        return _stream_node(node, solver, deadline)
+    name, attributes = _operator_label(node)
+    return timed_iter(name, _stream_node(node, solver, deadline), **attributes)
+
+
+def _operator_label(node: PlanNode) -> tuple[str, dict]:
+    """Span name + static attributes of one algebra operator."""
+    if isinstance(node, BGPNode):
+        return "algebra.bgp", {"block": node.index, "patterns": len(node.patterns)}
+    if isinstance(node, UnionNode):
+        return "algebra.union", {"branches": len(node.branches)}
+    if isinstance(node, FilterNode):
+        return "algebra.filter", {"conditions": len(node.conditions)}
+    if isinstance(node, LeftJoinNode):
+        return "algebra.leftjoin", {}
+    return "algebra.join", {}
+
+
+def _stream_node(node: PlanNode, solver: BGPSolver, deadline: Deadline) -> Iterator[Binding]:
     if isinstance(node, BGPNode):
         for row in solver(node):
             deadline.check()
@@ -271,6 +298,43 @@ def stream_plan(node: PlanNode, solver: BGPSolver, deadline: Deadline) -> Iterat
         yield from _stream_left_join(node, solver, deadline)
     else:  # pragma: no cover - compile produces no other node kinds
         raise TypeError(f"unknown plan node {type(node).__name__}")
+
+
+def plan_outline(node: PlanNode) -> dict:
+    """A JSON-ready descriptor of a plan tree (the ``EXPLAIN`` plan section).
+
+    Mirrors the operator structure that :func:`stream_plan` executes; the
+    ``block`` indexes match the ``block`` attribute of ``algebra.bgp``
+    spans, so timings can be joined back onto the plan.
+    """
+    if isinstance(node, BGPNode):
+        return {
+            "op": "bgp",
+            "block": node.index,
+            "patterns": len(node.patterns),
+            "pushed_filters": len(node.filters),
+            "variables": sorted(v.name for v in node.variables()),
+        }
+    if isinstance(node, EmptyNode):
+        return {"op": "empty"}
+    if isinstance(node, UnionNode):
+        return {"op": "union", "branches": [plan_outline(branch) for branch in node.branches]}
+    if isinstance(node, FilterNode):
+        return {
+            "op": "filter",
+            "conditions": len(node.conditions),
+            "child": plan_outline(node.child),
+        }
+    if isinstance(node, JoinNode):
+        return {"op": "join", "left": plan_outline(node.left), "right": plan_outline(node.right)}
+    if isinstance(node, LeftJoinNode):
+        return {
+            "op": "leftjoin",
+            "condition": node.condition is not None,
+            "left": plan_outline(node.left),
+            "right": plan_outline(node.right),
+        }
+    raise TypeError(f"unknown plan node {type(node).__name__}")  # pragma: no cover
 
 
 def certain_variables(node: PlanNode) -> set[Variable]:

@@ -1,0 +1,61 @@
+"""End-to-end telemetry: metrics, span tracing and the slow-query log.
+
+The subsystem is dependency-free and engine-agnostic:
+
+* :mod:`repro.telemetry.metrics` — counters/gauges/histograms with
+  Prometheus text exposition, plus the windowed :class:`Summary` backing
+  the ``/stats`` latency JSON;
+* :mod:`repro.telemetry.trace` — a thread-local span tracer whose
+  instrumentation points cost one thread-local read when disabled;
+* :mod:`repro.telemetry.slowlog` — a JSON-lines slow-query log.
+
+The server layer (:mod:`repro.server`) wires all three together: spans feed
+stage histograms through a sink, ``GET /metrics`` scrapes the registry, and
+``EXPLAIN`` / the slow-query log serialize the span tree.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Summary,
+    parse_exposition,
+    validate_exposition,
+)
+from .slowlog import SlowQueryLog, shard_breakdown, stage_breakdown
+from .trace import (
+    SpanRecord,
+    Trace,
+    annotate,
+    current_trace,
+    iter_spans,
+    record_span,
+    span,
+    start_trace,
+    timed_iter,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Summary",
+    "parse_exposition",
+    "validate_exposition",
+    "SlowQueryLog",
+    "shard_breakdown",
+    "stage_breakdown",
+    "SpanRecord",
+    "Trace",
+    "annotate",
+    "current_trace",
+    "iter_spans",
+    "record_span",
+    "span",
+    "start_trace",
+    "timed_iter",
+]

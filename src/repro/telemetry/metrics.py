@@ -1,0 +1,543 @@
+"""A dependency-free Prometheus-style metrics registry.
+
+Three metric kinds cover everything the query service reports:
+
+* :class:`Counter` — monotonically increasing totals (requests, cache hits);
+* :class:`Gauge` — point-in-time values (in-flight queries, uptime);
+* :class:`Histogram` — cumulative-bucket latency distributions with exact
+  ``_sum``/``_count`` series (query/stage/per-shard timings).
+
+All three support Prometheus labels; a :class:`MetricsRegistry` renders the
+text exposition format (``# HELP`` / ``# TYPE`` plus sample lines) that
+``GET /metrics`` serves.  :class:`Summary` is the windowed-percentile
+companion backing the pre-existing ``/stats`` JSON shape (count, exact
+mean, p50/p90/p99 over a bounded reservoir).
+
+Everything is thread-safe: each metric family guards its children with one
+lock, and exposition takes a consistent snapshot per family.  There is no
+process-global default registry — every :class:`repro.server.EngineService`
+owns its own, so services in one process never mix their numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from collections import deque
+from typing import Callable, Iterator, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Summary",
+    "nearest_rank",
+    "parse_exposition",
+    "summarize_latencies",
+    "validate_exposition",
+]
+
+#: Default histogram buckets (seconds), tuned for query-stage latencies:
+#: sub-millisecond index probes up to the service's multi-second timeouts.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus parsers expect."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(names: Sequence[str], values: Sequence[str], extra: str = "") -> str:
+    pairs = [f'{n}="{_escape_label_value(str(v))}"' for n, v in zip(names, values)]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class _Metric:
+    """Shared plumbing of every metric family: name/label validation + children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_NAME_RE.match(label) or label.startswith("__"):
+                raise ValueError(f"invalid label name {label!r} on metric {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: dict[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def header_lines(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def expose_lines(self) -> list[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing total, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled child."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set_total(self, total: float, **labels: object) -> None:
+        """Mirror an externally tracked monotone total (scrape-time sync).
+
+        The service uses this to surface counters whose source of truth
+        lives elsewhere (e.g. :class:`repro.server.LRUCache` hit/miss
+        statistics) without double-counting.  ``total`` may never move
+        backwards.
+        """
+        key = self._key(labels)
+        with self._lock:
+            if total < self._values.get(key, 0.0):
+                raise ValueError(f"counter {self.name!r} cannot decrease")
+            self._values[key] = float(total)
+
+    def value(self, **labels: object) -> float:
+        """Return the current total of the labelled child (0 when unseen)."""
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def expose_lines(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = self.header_lines()
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            labels = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}{labels} {_format_value(value)}")
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (or be set outright)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def expose_lines(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = self.header_lines()
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            labels = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}{labels} {_format_value(value)}")
+        return lines
+
+
+class Histogram(_Metric):
+    """A cumulative-bucket histogram with exact ``_sum`` and ``_count``."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one finite bucket bound")
+        if bounds != sorted(set(bounds)):
+            raise ValueError("histogram bucket bounds must be distinct")
+        if bounds and bounds[-1] == math.inf:
+            bounds = bounds[:-1]  # +Inf is implicit
+        self.bounds = tuple(bounds)
+        #: per-child state: (per-bucket counts incl. +Inf slot, sum, count)
+        self._children: dict[tuple[str, ...], tuple[list[int], float, int]] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the labelled child."""
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = ([0] * (len(self.bounds) + 1), 0.0, 0)
+            counts, total, count = child
+            slot = len(self.bounds)
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    slot = index
+                    break
+            counts[slot] += 1
+            self._children[key] = (counts, total + value, count + 1)
+
+    def snapshot(self, **labels: object) -> dict[str, float | int | list[int]]:
+        """Cumulative bucket counts plus sum/count of one child (for tests)."""
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                return {"buckets": [0] * (len(self.bounds) + 1), "sum": 0.0, "count": 0}
+            counts, total, count = child
+            cumulative: list[int] = []
+            running = 0
+            for value in counts:
+                running += value
+                cumulative.append(running)
+            return {"buckets": cumulative, "sum": total, "count": count}
+
+    def expose_lines(self) -> list[str]:
+        with self._lock:
+            items = sorted(
+                (key, (list(counts), total, count))
+                for key, (counts, total, count) in self._children.items()
+            )
+        lines = self.header_lines()
+        if not items and not self.labelnames:
+            items = [((), ([0] * (len(self.bounds) + 1), 0.0, 0))]
+        for key, (counts, total, count) in items:
+            running = 0
+            for bound, bucket in zip(self.bounds, counts):
+                running += bucket
+                le = _format_value(bound)
+                labels = _render_labels(self.labelnames, key, extra=f'le="{le}"')
+                lines.append(f"{self.name}_bucket{labels} {running}")
+            running += counts[-1]
+            labels = _render_labels(self.labelnames, key, extra='le="+Inf"')
+            lines.append(f"{self.name}_bucket{labels} {running}")
+            plain = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}_sum{plain} {_format_value(total)}")
+            lines.append(f"{self.name}_count{plain} {count}")
+        return lines
+
+
+class MetricsRegistry:
+    """An ordered collection of metric families with text exposition."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            if metric.name in self._metrics:
+                raise ValueError(f"metric {metric.name!r} is already registered")
+            self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Counter:
+        return self.register(Counter(name, help, labelnames))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Gauge:
+        return self.register(Gauge(name, help, labelnames))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self.register(Histogram(name, help, labelnames, buckets))  # type: ignore[return-value]
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[_Metric]:
+        with self._lock:
+            return iter(list(self._metrics.values()))
+
+    def expose(self) -> str:
+        """Render the Prometheus text exposition of every registered family."""
+        lines: list[str] = []
+        for metric in self:
+            lines.extend(metric.expose_lines())
+        return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# exposition validation (shared by tests and the CI scrape gate)
+# --------------------------------------------------------------------------- #
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|Inf)|[+-]Inf|NaN)$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_label_block(block: str, line_number: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    rest = block
+    while rest:
+        match = _LABEL_PAIR_RE.match(rest)
+        if match is None:
+            raise ValueError(f"line {line_number}: malformed label block {block!r}")
+        labels[match.group(1)] = match.group(2)
+        rest = rest[match.end() :]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise ValueError(f"line {line_number}: malformed label block {block!r}")
+    return labels
+
+
+def parse_exposition(text: str) -> dict[str, dict]:
+    """Parse (and strictly validate) Prometheus text exposition.
+
+    Returns ``{family_name: {"type": ..., "help": ..., "samples":
+    [(sample_name, labels_dict, float_value), ...]}}``.  Raises
+    :class:`ValueError` on any malformed line — the CI scrape gate and the
+    exposition tests both run scrapes through this.
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _METRIC_NAME_RE.match(parts[2]):
+                raise ValueError(f"line {number}: malformed HELP line {line!r}")
+            families.setdefault(parts[2], {"type": None, "samples": []})["help"] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _METRIC_NAME_RE.match(parts[2]):
+                raise ValueError(f"line {number}: malformed TYPE line {line!r}")
+            if parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {number}: unknown metric type {parts[3]!r}")
+            family = families.setdefault(parts[2], {"samples": []})
+            if family.get("type") is not None:
+                raise ValueError(f"line {number}: duplicate TYPE for {parts[2]!r}")
+            family["type"] = parts[3]
+            current = parts[2]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {number}: malformed sample line {line!r}")
+        name = match.group("name")
+        family_name = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and families.get(base, {}).get("type") == "histogram":
+                family_name = base
+                break
+        family = families.get(family_name)
+        if family is None or family.get("type") is None:
+            raise ValueError(f"line {number}: sample {name!r} precedes its TYPE line")
+        if current != family_name:
+            raise ValueError(f"line {number}: sample {name!r} outside its family block")
+        labels = _parse_label_block(match.group("labels") or "", number)
+        raw = match.group("value")
+        value = float(raw.replace("Inf", "inf"))
+        family["samples"].append((name, labels, value))
+    _check_histograms(families)
+    return families
+
+
+def _check_histograms(families: dict[str, dict]) -> None:
+    for name, family in families.items():
+        if family.get("type") != "histogram":
+            continue
+        series: dict[tuple, dict[str, float]] = {}
+        bucket_counts: dict[tuple, list[tuple[float, float]]] = {}
+        for sample_name, labels, value in family["samples"]:
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            slot = series.setdefault(key, {})
+            if sample_name == f"{name}_bucket":
+                if "le" not in labels:
+                    raise ValueError(f"histogram {name!r} bucket sample without le label")
+                bucket_counts.setdefault(key, []).append(
+                    (float(labels["le"].replace("Inf", "inf")), value)
+                )
+            elif sample_name == f"{name}_sum":
+                slot["sum"] = value
+            elif sample_name == f"{name}_count":
+                slot["count"] = value
+            else:
+                raise ValueError(f"unexpected sample {sample_name!r} in histogram {name!r}")
+        for key, buckets in bucket_counts.items():
+            ordered = sorted(buckets)
+            counts = [count for _, count in ordered]
+            if counts != sorted(counts):
+                raise ValueError(f"histogram {name!r} buckets are not cumulative")
+            if not ordered or ordered[-1][0] != math.inf:
+                raise ValueError(f"histogram {name!r} is missing its +Inf bucket")
+            total = series.get(key, {}).get("count")
+            if total is not None and ordered[-1][1] != total:
+                raise ValueError(f"histogram {name!r}: +Inf bucket != _count")
+
+
+def validate_exposition(text: str) -> None:
+    """Raise :class:`ValueError` when ``text`` is not valid exposition."""
+    parse_exposition(text)
+
+
+# --------------------------------------------------------------------------- #
+# windowed percentile summaries (the /stats JSON backend)
+# --------------------------------------------------------------------------- #
+def nearest_rank(sorted_sample: Sequence[float], fraction: float) -> float | None:
+    """Nearest-rank percentile of an already **sorted** sample (0..1)."""
+    if not sorted_sample:
+        return None
+    rank = min(len(sorted_sample) - 1, max(0, round(fraction * (len(sorted_sample) - 1))))
+    return sorted_sample[rank]
+
+
+def summarize_latencies(latencies: Sequence[float], count: int | None = None) -> dict:
+    """Count/mean/p50/p90/p99 summary of a latency sample (seconds).
+
+    ``count`` overrides the reported count when the sample is a bounded
+    window over a longer-running total (the :class:`Summary` case).
+    """
+    sample = sorted(latencies)
+    total = sum(sample)
+    reported = len(sample) if count is None else count
+
+    def pick(fraction: float) -> float | None:
+        value = nearest_rank(sample, fraction)
+        return round(value, 6) if value is not None else None
+
+    return {
+        "count": reported,
+        "mean_seconds": round(total / len(sample), 6) if sample else None,
+        "p50_seconds": pick(0.50),
+        "p90_seconds": pick(0.90),
+        "p99_seconds": pick(0.99),
+    }
+
+
+class Summary:
+    """Windowed percentiles plus exact running totals, under one lock.
+
+    The bounded reservoir keeps the most recent observations so percentiles
+    stay O(window); count and sum are exact across the full history.  An
+    optional ``observer`` callback mirrors every observation into a second
+    consumer — the service points it at a registry :class:`Histogram`, which
+    is how ``/stats`` and ``/metrics`` agree by construction.
+    """
+
+    def __init__(self, window: int = 2048, observer: Callable[[float], None] | None = None):
+        if window <= 0:
+            raise ValueError("summary window must be positive")
+        self._window: deque[float] = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total = 0.0
+        self._observer = observer
+
+    def observe(self, seconds: float) -> None:
+        """Add one observation (and mirror it to the observer, if any)."""
+        with self._lock:
+            self._window.append(seconds)
+            self._count += 1
+            self._total += seconds
+        if self._observer is not None:
+            self._observer(seconds)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, fraction: float) -> float | None:
+        """Return the ``fraction`` percentile (0..1) over the recent window."""
+        with self._lock:
+            sample = sorted(self._window)
+        return nearest_rank(sample, fraction)
+
+    def snapshot(self) -> dict[str, float | int | None]:
+        """Return count, mean and p50/p90/p99 over the recent window."""
+        with self._lock:
+            sample = list(self._window)
+            count, total = self._count, self._total
+        summary = summarize_latencies(sample, count=count)
+        # The exact running mean beats the windowed one when they differ.
+        summary["mean_seconds"] = round(total / count, 6) if count else None
+        return summary

@@ -1,0 +1,114 @@
+"""A structured JSON-lines slow-query log.
+
+Every query whose end-to-end latency crosses the configured threshold is
+appended to the log file as one JSON object per line — machine-parseable
+(``jq``-able) and safe to tail.  The service fills each entry with the
+query text, outcome, stage breakdown and shard breakdown (from the span
+trace) and the cache disposition, so a slow query can be diagnosed without
+reproducing it.
+
+Writes are serialized under a lock and flushed per entry; the file is
+opened lazily on first write and re-opened after :meth:`SlowQueryLog.close`
+(snapshot/rotation friendly).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import IO
+
+from .trace import SpanRecord, iter_spans
+
+__all__ = ["SlowQueryLog", "stage_breakdown", "shard_breakdown"]
+
+#: Query text longer than this is truncated in log entries: the log is a
+#: diagnostic stream, not an archive, and a generated complex-50 query can
+#: run to many kilobytes.
+MAX_QUERY_CHARS = 4096
+
+
+def stage_breakdown(root: SpanRecord | None) -> list[dict]:
+    """The root's direct children as ``{stage, seconds, ...attrs}`` rows."""
+    if root is None:
+        return []
+    rows = []
+    for child in root.children:
+        row = {"stage": child.name, "seconds": round(child.seconds, 6)}
+        row.update(child.attributes)
+        rows.append(row)
+    return rows
+
+
+def shard_breakdown(root: SpanRecord | None) -> list[dict]:
+    """Every per-shard scatter span in the tree, in execution order."""
+    if root is None:
+        return []
+    rows = []
+    for record in iter_spans(root):
+        if record.name == "cluster.scatter.shard":
+            row = {"seconds": round(record.seconds, 6)}
+            row.update(record.attributes)
+            rows.append(row)
+    return rows
+
+
+class SlowQueryLog:
+    """Thread-safe JSON-lines appender gated by a latency threshold."""
+
+    def __init__(self, path: str | Path, threshold_ms: float = 500.0):
+        if threshold_ms < 0:
+            raise ValueError("slow-query threshold must be >= 0")
+        self.path = Path(path)
+        self.threshold_ms = threshold_ms
+        self._lock = threading.Lock()
+        self._file: IO[str] | None = None
+
+    def should_log(self, seconds: float) -> bool:
+        """True when a query of ``seconds`` end-to-end latency qualifies."""
+        return seconds * 1000.0 >= self.threshold_ms
+
+    def log(
+        self,
+        query: str,
+        seconds: float,
+        kind: str = "query",
+        status: str = "answered",
+        trace_root: SpanRecord | None = None,
+        cache: dict | None = None,
+        **extra: object,
+    ) -> dict:
+        """Append one entry (unconditionally — callers gate on should_log).
+
+        Returns the entry that was written, which tests and callers can
+        inspect without re-reading the file.
+        """
+        entry: dict = {
+            "ts": round(time.time(), 3),
+            "kind": kind,
+            "status": status,
+            "seconds": round(seconds, 6),
+            "threshold_ms": self.threshold_ms,
+            "query": query[:MAX_QUERY_CHARS],
+            "truncated": len(query) > MAX_QUERY_CHARS,
+            "cache": cache or {},
+            "stages": stage_breakdown(trace_root),
+            "shards": shard_breakdown(trace_root),
+        }
+        entry.update(extra)
+        line = json.dumps(entry, ensure_ascii=False, separators=(",", ":"))
+        with self._lock:
+            if self._file is None:
+                self._file = open(self.path, "a", encoding="utf-8")
+            self._file.write(line + "\n")
+            self._file.flush()
+        return entry
+
+    def close(self) -> None:
+        """Close the underlying file (reopened lazily on the next write)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None

@@ -1,0 +1,259 @@
+"""A lightweight span tracer for per-query stage timing.
+
+One :class:`Trace` covers one request.  The service activates it on the
+request thread; instrumentation points anywhere below (engine, matcher,
+cluster, algebra evaluator) call the module-level :func:`span` /
+:func:`record_span` / :func:`annotate` helpers, which look the active trace
+up in a thread local:
+
+* **no active trace** — the helpers return a shared no-op span / do
+  nothing: one ``getattr`` on a thread local, no allocation, no clock
+  read, so permanently-instrumented code stays on the fast path;
+* **metrics mode** (``keep_tree=False``) — every finished span is handed
+  to the trace's ``sink`` (the service feeds stage histograms) but no
+  tree is retained;
+* **full tracing** (``keep_tree=True``) — spans additionally nest into a
+  tree under the root, which ``EXPLAIN`` and the slow-query log serialize.
+
+Spans use monotonic clocks (``time.perf_counter``).  The span stack lives
+on the trace, and the trace is installed per thread, so concurrent
+requests never see each other's spans.  Worker-pool threads (the cluster
+scatter stage) do not inherit the trace; the scatter loop times its shards
+explicitly and records them with :func:`record_span` from the request
+thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "NOOP_SPAN",
+    "SpanRecord",
+    "Trace",
+    "annotate",
+    "current_trace",
+    "iter_spans",
+    "record_span",
+    "span",
+    "start_trace",
+    "timed_iter",
+]
+
+_LOCAL = threading.local()
+
+#: Called with every finished :class:`SpanRecord` (children before parents,
+#: the root last).
+SpanSink = Callable[["SpanRecord"], None]
+
+
+class SpanRecord:
+    """One finished (or in-flight) span: name, duration, attributes, children."""
+
+    __slots__ = ("name", "seconds", "attributes", "children")
+
+    def __init__(self, name: str, attributes: dict | None = None):
+        self.name = name
+        self.seconds = 0.0
+        self.attributes = attributes if attributes is not None else {}
+        self.children: list[SpanRecord] = []
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (used by ``EXPLAIN`` and the slow-query log)."""
+        out: dict = {"name": self.name, "seconds": round(self.seconds, 6)}
+        if self.attributes:
+            out.update(self.attributes)
+        if self.children:
+            out["children"] = [child.as_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:
+        return f"SpanRecord({self.name!r}, {self.seconds:.6f}s, children={len(self.children)})"
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned when no trace is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def annotate(self, **attributes: object) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager for one live span on the active trace."""
+
+    __slots__ = ("_trace", "record", "_start")
+
+    def __init__(self, trace: "Trace", record: SpanRecord):
+        self._trace = trace
+        self.record = record
+        self._start = 0.0
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.record.seconds = perf_counter() - self._start
+        self._trace._finish(self.record)
+        return False
+
+    def annotate(self, **attributes: object) -> "_ActiveSpan":
+        self.record.attributes.update(attributes)
+        return self
+
+
+class Trace:
+    """One traced request: a root span, the span stack and an optional sink."""
+
+    __slots__ = ("root", "keep_tree", "sink", "_stack")
+
+    def __init__(self, name: str, sink: SpanSink | None = None, keep_tree: bool = True):
+        self.root = SpanRecord(name)
+        self.keep_tree = keep_tree
+        self.sink = sink
+        self._stack: list[SpanRecord] = [self.root]
+
+    def start(self, name: str, attributes: dict | None = None) -> _ActiveSpan:
+        record = SpanRecord(name, attributes)
+        if self.keep_tree:
+            self._stack[-1].children.append(record)
+        self._stack.append(record)
+        return _ActiveSpan(self, record)
+
+    def _finish(self, record: SpanRecord) -> None:
+        # Pop back to (and past) the finished span; tolerates a child left
+        # open by an abandoned generator so the stack never corrupts.
+        while len(self._stack) > 1:
+            popped = self._stack.pop()
+            if popped is record:
+                break
+        if self.sink is not None:
+            self.sink(record)
+
+    def record(self, name: str, seconds: float, **attributes: object) -> SpanRecord:
+        """Attach an already-measured span (e.g. a worker-pool shard timing)."""
+        record = SpanRecord(name, dict(attributes))
+        record.seconds = seconds
+        if self.keep_tree:
+            self._stack[-1].children.append(record)
+        if self.sink is not None:
+            self.sink(record)
+        return record
+
+    def annotate(self, **attributes: object) -> None:
+        """Merge attributes into the innermost open span."""
+        self._stack[-1].attributes.update(attributes)
+
+
+def current_trace() -> Trace | None:
+    """Return the trace active on this thread, or None."""
+    return getattr(_LOCAL, "trace", None)
+
+
+@contextmanager
+def start_trace(
+    name: str, sink: SpanSink | None = None, keep_tree: bool = True
+) -> Iterator[Trace]:
+    """Activate a new trace on this thread for the duration of the block.
+
+    The root span's duration is the block's wall time; the sink (if any)
+    receives the root last, after every nested span.  A previously active
+    trace is restored on exit, so traces may nest (the inner one simply
+    shadows the outer for its duration).
+    """
+    trace = Trace(name, sink=sink, keep_tree=keep_tree)
+    previous = getattr(_LOCAL, "trace", None)
+    _LOCAL.trace = trace
+    start = perf_counter()
+    try:
+        yield trace
+    finally:
+        trace.root.seconds = perf_counter() - start
+        _LOCAL.trace = previous
+        if sink is not None:
+            sink(trace.root)
+
+
+def span(name: str, **attributes: object):
+    """Open a span under the active trace (or a free no-op without one).
+
+    Usage::
+
+        with span("cluster.scatter", star_root=root) as sp:
+            ...
+            sp.annotate(matches=len(relation))
+    """
+    trace = getattr(_LOCAL, "trace", None)
+    if trace is None:
+        return NOOP_SPAN
+    return trace.start(name, attributes if attributes else None)
+
+
+def record_span(name: str, seconds: float, **attributes: object) -> None:
+    """Attach an externally timed span to the active trace (no-op without one)."""
+    trace = getattr(_LOCAL, "trace", None)
+    if trace is not None:
+        trace.record(name, seconds, **attributes)
+
+
+def annotate(**attributes: object) -> None:
+    """Merge attributes into the innermost open span (no-op without a trace)."""
+    trace = getattr(_LOCAL, "trace", None)
+    if trace is not None:
+        trace.annotate(**attributes)
+
+
+def timed_iter(name: str, iterable: Iterable, **attributes: object) -> Iterator:
+    """Re-yield ``iterable``, accumulating time spent producing items.
+
+    Generators interleave their work with their consumer's, so a plain
+    ``with span(...)`` around one would charge the consumer's time to the
+    producer.  This wrapper charges only the time spent *inside* ``next()``
+    and emits a single completed span (with a ``rows`` count) when the
+    iterator is exhausted — or abandoned early, via the ``finally``.
+
+    Without an active trace the items stream straight through.
+    """
+    trace = getattr(_LOCAL, "trace", None)
+    if trace is None:
+        yield from iterable
+        return
+    total = 0.0
+    rows = 0
+    iterator = iter(iterable)
+    try:
+        while True:
+            begin = perf_counter()
+            try:
+                item = next(iterator)
+            except StopIteration:
+                total += perf_counter() - begin
+                break
+            total += perf_counter() - begin
+            rows += 1
+            yield item
+    finally:
+        trace.record(name, total, rows=rows, **attributes)
+
+
+def iter_spans(root: SpanRecord) -> Iterator[SpanRecord]:
+    """Depth-first iteration over a span tree (root included, parents first)."""
+    stack = [root]
+    while stack:
+        record = stack.pop()
+        yield record
+        stack.extend(reversed(record.children))

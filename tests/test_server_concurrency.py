@@ -14,6 +14,7 @@ import pytest
 
 from repro import AmberEngine
 from repro.server import EngineService, ServiceConfig
+from repro.telemetry import parse_exposition
 
 #: A mixed workload over the Figure 1 dataset: star shapes (one centre),
 #: complex shapes (cycles/paths), a DISTINCT and an unsatisfiable query.
@@ -87,3 +88,20 @@ def test_concurrent_results_match_serial_and_stats_balance(shared_service):
     assert queries["rejected"] == 0
     assert queries["in_flight"] == 0
     assert stats["latency"]["count"] == executed
+
+    # --- and the Prometheus surface must agree with /stats ---------------- #
+    exposition = shared_service.prometheus()
+    assert exposition is not None
+    families = parse_exposition(exposition)  # validates the scrape format
+    answered = sum(
+        value
+        for name, labels, value in families["repro_queries_total"]["samples"]
+        if labels["status"] == "answered"
+    )
+    assert answered == executed
+    latency_count = sum(
+        value
+        for name, labels, value in families["repro_query_seconds"]["samples"]
+        if name == "repro_query_seconds_count"
+    )
+    assert latency_count == executed

@@ -1,0 +1,247 @@
+"""Unit tests of the metrics registry and its Prometheus text exposition."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Summary,
+    parse_exposition,
+    validate_exposition,
+)
+from repro.telemetry.metrics import DEFAULT_LATENCY_BUCKETS
+
+pytestmark = pytest.mark.metrics
+
+
+def scrape(registry: MetricsRegistry) -> dict[str, dict]:
+    text = registry.expose()
+    return parse_exposition(text)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("requests_total", "Requests.")
+        assert counter.value() == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("requests_total", "Requests.")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        counter = Counter("requests_total", "Requests.", labelnames=("kind",))
+        counter.inc(kind="query")
+        counter.inc(2, kind="ask")
+        assert counter.value(kind="query") == 1
+        assert counter.value(kind="ask") == 2
+
+    def test_label_set_must_match_declaration(self):
+        counter = Counter("requests_total", "Requests.", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc(status="ok")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_set_total_mirrors_monotone_source(self):
+        counter = Counter("cache_total", "Cache lookups.", labelnames=("outcome",))
+        counter.set_total(10, outcome="hit")
+        assert counter.value(outcome="hit") == 10
+        counter.set_total(12, outcome="hit")
+        with pytest.raises(ValueError):
+            counter.set_total(5, outcome="hit")
+
+    def test_monotonicity_across_scrapes(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "Ops.", labelnames=("kind",))
+        previous = 0.0
+        for round_number in range(1, 5):
+            counter.inc(round_number, kind="a")
+            families = scrape(registry)
+            (_, _, value) = next(
+                sample for sample in families["ops_total"]["samples"] if sample[1]["kind"] == "a"
+            )
+            assert value >= previous
+            previous = value
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad-name", "Nope.")
+        with pytest.raises(ValueError):
+            Counter("ok_total", "Nope.", labelnames=("bad-label",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("in_flight", "In flight.")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 2
+
+
+class TestHistogram:
+    def test_bucket_counts_are_cumulative_and_sum_exact(self):
+        histogram = Histogram("lat_seconds", "Latency.", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["buckets"] == [1, 2, 3, 4]  # cumulative incl. +Inf
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(5.555)
+
+    def test_exposition_has_inf_bucket_and_count_consistency(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", "Latency.", labelnames=("stage",), buckets=(0.01, 0.1)
+        )
+        histogram.observe(0.001, stage="parse")
+        histogram.observe(0.05, stage="parse")
+        histogram.observe(2.0, stage="match")
+        families = scrape(registry)  # parse_exposition validates cumulativeness + +Inf
+        samples = families["lat_seconds"]["samples"]
+        inf_parse = next(
+            value
+            for name, labels, value in samples
+            if name == "lat_seconds_bucket"
+            and labels.get("stage") == "parse"
+            and labels["le"] == "+Inf"
+        )
+        count_parse = next(
+            value
+            for name, labels, value in samples
+            if name == "lat_seconds_count" and labels.get("stage") == "parse"
+        )
+        assert inf_parse == count_parse == 2
+
+    def test_bucket_sums_match_observations(self):
+        histogram = Histogram("lat_seconds", "Latency.")
+        observations = [0.0004, 0.002, 0.3, 12.0, 45.0]
+        for value in observations:
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["sum"] == pytest.approx(sum(observations))
+        assert snap["buckets"][-1] == len(observations)
+        # 45s exceeds the largest default bound, so it only lands in +Inf.
+        assert snap["buckets"][-2] == len(observations) - 1
+        assert len(snap["buckets"]) == len(DEFAULT_LATENCY_BUCKETS) + 1
+
+    def test_rejects_degenerate_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "H.", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", "H.", buckets=(0.1, 0.1))
+
+
+class TestRegistry:
+    def test_duplicate_names_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "A.")
+        with pytest.raises(ValueError):
+            registry.gauge("a_total", "A again.")
+
+    def test_exposition_round_trips_label_escaping(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("odd_total", "Odd labels.", labelnames=("q",))
+        tricky = 'quote " backslash \\ newline \n end'
+        counter.inc(q=tricky)
+        families = parse_exposition(registry.expose())
+        ((_, labels, value),) = families["odd_total"]["samples"]
+        assert value == 1
+        assert labels["q"] == 'quote \\" backslash \\\\ newline \\n end'
+
+    def test_empty_families_still_expose_validly(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet_total", "Never incremented.")
+        registry.histogram("quiet_seconds", "Never observed.")
+        validate_exposition(registry.expose())
+
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("spins_total", "Spins.")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 8000
+
+
+class TestExpositionValidator:
+    def test_rejects_malformed_sample_line(self):
+        with pytest.raises(ValueError):
+            parse_exposition("# TYPE x counter\nx{bad 1\n")
+
+    def test_rejects_sample_without_type(self):
+        with pytest.raises(ValueError):
+            parse_exposition("orphan_total 3\n")
+
+    def test_rejects_non_cumulative_histogram(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match="cumulative"):
+            parse_exposition(text)
+
+    def test_rejects_missing_inf_bucket(self):
+        text = "# TYPE h histogram\n" 'h_bucket{le="0.1"} 5\n' "h_sum 1\nh_count 5\n"
+        with pytest.raises(ValueError, match="Inf"):
+            parse_exposition(text)
+
+    def test_accepts_inf_values(self):
+        families = parse_exposition("# TYPE g gauge\ng +Inf\n")
+        assert families["g"]["samples"][0][2] == math.inf
+
+
+class TestSummary:
+    def test_snapshot_matches_stats_shape(self):
+        summary = Summary(window=16)
+        snap = summary.snapshot()
+        assert snap == {
+            "count": 0,
+            "mean_seconds": None,
+            "p50_seconds": None,
+            "p90_seconds": None,
+            "p99_seconds": None,
+        }
+        for value in (0.1, 0.2, 0.3):
+            summary.observe(value)
+        snap = summary.snapshot()
+        assert snap["count"] == 3
+        assert snap["mean_seconds"] == pytest.approx(0.2)
+        assert snap["p50_seconds"] == pytest.approx(0.2)
+
+    def test_count_is_exact_beyond_window(self):
+        summary = Summary(window=4)
+        for index in range(100):
+            summary.observe(float(index))
+        assert summary.count == 100
+        # Percentiles only see the window (the most recent observations).
+        assert summary.percentile(0.0) == 96.0
+
+    def test_observer_mirrors_observations(self):
+        seen: list[float] = []
+        summary = Summary(window=8, observer=seen.append)
+        summary.observe(0.5)
+        summary.observe(1.5)
+        assert seen == [0.5, 1.5]

@@ -1,0 +1,179 @@
+"""Unit tests of the thread-local span tracer."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    annotate,
+    current_trace,
+    iter_spans,
+    record_span,
+    span,
+    start_trace,
+    timed_iter,
+)
+
+pytestmark = pytest.mark.metrics
+
+
+class TestSpanNesting:
+    def test_children_attach_to_enclosing_span(self):
+        with start_trace("query", keep_tree=True) as trace:
+            with span("parse"):
+                pass
+            with span("match"):
+                with span("scatter"):
+                    pass
+        root = trace.root
+        assert root is not None
+        assert [child.name for child in root.children] == ["parse", "match"]
+        assert [child.name for child in root.children[1].children] == ["scatter"]
+        assert root.seconds >= root.children[1].children[0].seconds >= 0.0
+
+    def test_annotations_land_on_innermost_span(self):
+        with start_trace("query", keep_tree=True) as trace:
+            with span("match", vertex="v0") as sp:
+                sp.annotate(rows=7)
+                annotate(note="inner")
+        (match,) = trace.root.children
+        assert match.attributes == {"vertex": "v0", "rows": 7, "note": "inner"}
+
+    def test_record_span_attaches_preformed_timing(self):
+        with start_trace("query", keep_tree=True) as trace:
+            record_span("shard", 0.25, shard=3)
+        (shard,) = trace.root.children
+        assert shard.seconds == 0.25
+        assert shard.attributes == {"shard": 3}
+
+    def test_iter_spans_walks_depth_first(self):
+        with start_trace("query", keep_tree=True) as trace:
+            with span("a"):
+                with span("b"):
+                    pass
+            with span("c"):
+                pass
+        names = [record.name for record in iter_spans(trace.root)]
+        assert names == ["query", "a", "b", "c"]
+
+    def test_as_dict_round_trip(self):
+        with start_trace("query", keep_tree=True) as trace:
+            with span("stage", kind="bgp"):
+                pass
+        payload = trace.root.as_dict()
+        assert payload["name"] == "query"
+        (stage,) = payload["children"]
+        assert stage["name"] == "stage"
+        assert stage["kind"] == "bgp"  # attributes are flattened into the dict
+        assert stage["seconds"] >= 0.0
+
+
+class TestNoOpWhenInactive:
+    def test_span_outside_trace_is_noop(self):
+        assert current_trace() is None
+        with span("orphan") as sp:
+            sp.annotate(ignored=True)
+        annotate(ignored=True)
+        record_span("orphan", 0.1)
+        assert current_trace() is None
+
+    def test_timed_iter_outside_trace_passes_through(self):
+        source = iter([1, 2, 3])
+        assert list(timed_iter("orphan", source)) == [1, 2, 3]
+
+    def test_trace_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with start_trace("query", keep_tree=True):
+                assert current_trace() is not None
+                raise RuntimeError("boom")
+        assert current_trace() is None
+
+
+class TestThreadIsolation:
+    def test_traces_do_not_leak_across_threads(self):
+        barrier = threading.Barrier(2)
+        seen: dict[str, list[str]] = {}
+
+        def worker(label: str) -> None:
+            with start_trace(f"query-{label}", keep_tree=True) as trace:
+                barrier.wait()  # both traces active simultaneously
+                with span(f"stage-{label}"):
+                    barrier.wait()
+            seen[label] = [record.name for record in iter_spans(trace.root)]
+
+        threads = [threading.Thread(target=worker, args=(label,)) for label in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen["a"] == ["query-a", "stage-a"]
+        assert seen["b"] == ["query-b", "stage-b"]
+
+    def test_worker_thread_sees_no_trace(self):
+        observed: list[object] = []
+
+        def probe() -> None:
+            observed.append(current_trace())
+
+        with start_trace("query", keep_tree=True):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert observed == [None]
+
+
+class TestSink:
+    def test_sink_receives_children_before_root(self):
+        order: list[str] = []
+        with start_trace("query", sink=lambda record: order.append(record.name)):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        assert order == ["inner", "outer", "query"]
+
+    def test_sink_only_trace_discards_tree(self):
+        with start_trace("query", sink=lambda record: None, keep_tree=False) as trace:
+            with span("stage"):
+                pass
+        assert trace.keep_tree is False
+        assert trace.root.children == []
+
+    def test_root_seconds_set_before_sink_sees_root(self):
+        captured: list[float] = []
+
+        def sink(record):
+            if record.name == "query":
+                captured.append(record.seconds)
+
+        with start_trace("query", sink=sink):
+            pass
+        assert captured and captured[0] >= 0.0
+
+
+class TestTimedIter:
+    def test_exhaustion_records_span_with_row_count(self):
+        with start_trace("query", keep_tree=True) as trace:
+            rows = list(timed_iter("expand", iter(["r1", "r2", "r3"]), op="expand"))
+        assert rows == ["r1", "r2", "r3"]
+        (expand,) = trace.root.children
+        assert expand.name == "expand"
+        assert expand.attributes["rows"] == 3
+        assert expand.attributes["op"] == "expand"
+
+    def test_early_abandonment_still_records(self):
+        with start_trace("query", keep_tree=True) as trace:
+            iterator = timed_iter("expand", iter(range(100)))
+            assert next(iterator) == 0
+            assert next(iterator) == 1
+            iterator.close()
+        (expand,) = trace.root.children
+        assert expand.attributes["rows"] == 2
+
+    def test_generator_time_charged_inside_trace(self):
+        # The wrapped generator is only pulled lazily: wrapping outside a
+        # trace and consuming inside one must not crash, and vice versa.
+        iterator = timed_iter("late", iter([1]))
+        with start_trace("query", keep_tree=True):
+            assert list(iterator) == [1]
