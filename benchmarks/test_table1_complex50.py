@@ -9,10 +9,16 @@ slowest / unanswered).
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.bench import build_dataset, build_engines, format_workload_summary, run_workload
 from repro.datasets import WorkloadGenerator
+
+#: The committed trajectory entry this run must not regress against.
+TRAJECTORY = Path(__file__).parent / "results" / "BENCH_table1_complex50.json"
 
 
 @pytest.fixture(scope="module")
@@ -71,3 +77,17 @@ def test_table1_complex_queries_size_50(
         if name == "AMbER":
             continue
         assert len(amber.answered) >= len(result.answered)
+
+    # Drift gate: robustness may only improve.  The committed trajectory
+    # records the AMbER unanswered percentage of the last re-recorded run
+    # (0.0 since the vectorized columnar backend); a run that answers fewer
+    # queries than the committed entry is a perf regression, not noise —
+    # answered/unanswered flips only happen when a query crosses the whole
+    # timeout budget.
+    if TRAJECTORY.exists():
+        committed = json.loads(TRAJECTORY.read_text(encoding="utf-8"))
+        ceiling = committed["engines"]["AMbER"]["unanswered_percentage"]
+        assert amber.unanswered_percentage <= ceiling + 1e-9, (
+            f"AMbER unanswered_percentage regressed: {amber.unanswered_percentage} "
+            f"> committed {ceiling} (see {TRAJECTORY})"
+        )

@@ -86,25 +86,33 @@ def order_core_vertices(
     decomposition: QueryDecomposition,
     strategy: str = "heuristic",
     rng: random.Random | None = None,
+    cardinality: dict[int, int] | None = None,
 ) -> list[int]:
     """Return the processing order of core vertices.
 
-    ``strategy`` is ``"heuristic"`` for the paper's (r1, r2) ranking or
-    ``"random"`` for the ablation baseline (still connectivity-constrained).
+    ``strategy`` is ``"heuristic"`` for the paper's (r1, r2) ranking,
+    ``"random"`` for the ablation baseline, or ``"cardinality"`` to start
+    from the core vertex with the smallest estimated candidate count
+    (``cardinality`` maps core vertices to estimates; the (r1, r2) ranking
+    breaks ties).  All strategies stay connectivity-constrained.
     """
     core = list(decomposition.core)
     if len(core) <= 1:
         return core
-    if strategy not in ("heuristic", "random"):
+    if strategy not in ("heuristic", "random", "cardinality"):
         raise ValueError(f"unknown ordering strategy {strategy!r}")
+    if strategy == "cardinality" and cardinality is None:
+        raise ValueError("cardinality ordering requires a cardinality estimate mapping")
 
     has_satellites = bool(decomposition.satellites)
 
-    def rank(u: int) -> tuple[float, float]:
+    def heuristic_rank(u: int) -> tuple[float, float]:
         r1 = decomposition.satellite_count(u)
         r2 = sum(len(types) for types in qgraph.multi_edge_signature(u))
         # When the query has no satellites at all, r2 takes priority (Sec. 5.3).
         return (r1, r2) if has_satellites else (r2, r1)
+
+    rank = heuristic_rank
 
     if strategy == "random":
         rng = rng or random.Random(0)
@@ -112,6 +120,12 @@ def order_core_vertices(
 
         def rank(u: int) -> tuple[float, float]:  # noqa: F811 - intentional override
             return (scores[u], 0.0)
+
+    elif strategy == "cardinality":
+        worst = max(cardinality.values(), default=0) + 1
+
+        def rank(u: int) -> tuple[float, float, float]:  # noqa: F811 - intentional override
+            return (-cardinality.get(u, worst), *heuristic_rank(u))
 
     ordered: list[int] = []
     remaining = set(core)

@@ -10,14 +10,23 @@ results of independent connected components with a Cartesian product.
 from __future__ import annotations
 
 from itertools import product
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from ..multigraph.builder import DataMultigraph
 from ..multigraph.query_graph import QueryMultigraph
 from ..sparql.bindings import Binding
+from ..timing import Deadline
 from .matching import ComponentSolution
 
-__all__ = ["solution_to_bindings", "component_bindings", "combine_component_bindings"]
+if TYPE_CHECKING:  # pragma: no cover - avoids a runtime dependency on numpy
+    from .vectorized import ColumnarSolutions
+
+__all__ = [
+    "columnar_bindings",
+    "combine_component_bindings",
+    "component_bindings",
+    "solution_to_bindings",
+]
 
 
 def solution_to_bindings(
@@ -39,6 +48,60 @@ def component_bindings(
     """Expand every solution of one component into bindings."""
     for solution in solutions:
         yield from solution_to_bindings(solution, qgraph, data)
+
+
+def columnar_bindings(
+    batch: "ColumnarSolutions",
+    qgraph: QueryMultigraph,
+    data: DataMultigraph,
+    deadline: Deadline | None = None,
+) -> Iterator[Binding]:
+    """Expand a factored columnar batch into bindings, row for row.
+
+    Emits exactly the rows ``component_bindings(batch.iter_solutions(), …)``
+    would, in the same order, but exploits the factoring: each distinct
+    satellite candidate block is sorted and translated to RDF terms once
+    (blocks are shared across many states), and each data vertex goes
+    through ``Mv^-1`` at most once for the whole batch.
+    """
+    translated: dict[int, object] = {}
+
+    def term(vertex: int):
+        entity = translated.get(vertex)
+        if entity is None:
+            entity = translated[vertex] = data.entity(vertex)
+        return entity
+
+    core_variables = [qgraph.variable_of(q) for q in batch.core_order]
+    # Satellite tables in query-vertex order with pre-translated blocks:
+    # ComponentSolution.embeddings() iterates sorted satellites, values
+    # ascending, last satellite varying fastest — product() order below.
+    tables = sorted(batch.satellites, key=lambda table: table[0])
+    satellite_variables = [qgraph.variable_of(vertex) for vertex, _, _, _ in tables]
+    block_terms: list[list[list[object]]] = []
+    index_columns: list[list[int]] = []
+    for _, values, indptr, index in tables:
+        flat = values.tolist()
+        bounds = indptr.tolist()
+        block_terms.append(
+            [
+                [term(v) for v in sorted(set(flat[bounds[j] : bounds[j + 1]]))]
+                for j in range(len(bounds) - 1)
+            ]
+        )
+        index_columns.append(index.tolist())
+    for i, state in enumerate(batch.states.tolist()):
+        if deadline is not None and (i & 1023) == 0:
+            deadline.check()
+        base = dict(zip(core_variables, (term(v) for v in state)))
+        if not tables:
+            yield Binding(base)
+            continue
+        blocks = [block_terms[k][column[i]] for k, column in enumerate(index_columns)]
+        for combination in product(*blocks):
+            row = dict(base)
+            row.update(zip(satellite_variables, combination))
+            yield Binding(row)
 
 
 def combine_component_bindings(per_component: Sequence[list[Binding]]) -> Iterator[Binding]:

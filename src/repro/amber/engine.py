@@ -27,12 +27,13 @@ from ..rdf.terms import Triple
 from ..rdf.turtle import parse_turtle
 from ..sparql.algebra import GroupGraphPattern, SelectQuery
 from ..sparql.bindings import Binding, ResultSet
-from ..sparql.eval import BGPNode, compile_pattern, stream_plan
+from ..sparql.eval import BGPNode, compile_pattern, plan_outline, stream_plan
 from ..sparql.parser import parse_sparql
 from ..sparql.update import UpdateRequest, parse_update
 from ..telemetry.trace import span
 from ..timing import Deadline
-from .embeddings import combine_component_bindings, component_bindings
+from .backend import MatchBackend, resolve_backend
+from .embeddings import columnar_bindings, combine_component_bindings, component_bindings
 from .matching import MatcherConfig, MultigraphMatcher, QueryTimeout
 from .mutation import GraphMutator, UpdateResult
 
@@ -40,11 +41,42 @@ __all__ = [
     "AlgebraPlan",
     "AmberEngine",
     "BuildReport",
+    "EXECUTE_MODES",
     "PlanCache",
     "QueryEngineBase",
+    "QueryOutcome",
     "QueryPlan",
     "QueryTimeout",
 ]
+
+#: The request kinds :meth:`QueryEngineBase.execute` understands.
+EXECUTE_MODES = ("select", "count", "ask", "explain")
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """The uniform return value of :meth:`QueryEngineBase.execute`.
+
+    Exactly one payload field is populated, matching ``mode``: ``result``
+    for ``select``, ``count`` for ``count``, ``boolean`` for ``ask`` and
+    ``plan`` for ``explain``.  :attr:`value` returns whichever one applies.
+    """
+
+    mode: str
+    result: ResultSet | None = None
+    count: int | None = None
+    boolean: bool | None = None
+    plan: dict | None = None
+
+    @property
+    def value(self) -> ResultSet | int | bool | dict | None:
+        """The mode-appropriate payload."""
+        return {
+            "select": self.result,
+            "count": self.count,
+            "ask": self.boolean,
+            "explain": self.plan,
+        }[self.mode]
 
 
 class AlgebraPlan:
@@ -140,6 +172,11 @@ class QueryEngineBase:
 
     name = "engine"
 
+    #: Name of the matching backend answering this engine's queries, as
+    #: surfaced in ``/stats``, metrics labels and ``EXPLAIN`` plan
+    #: outlines.  Engines with a pluggable core override this.
+    match_backend = "scalar"
+
     data: object
     config: MatcherConfig
     plan_cache: PlanCache | None
@@ -182,6 +219,38 @@ class QueryEngineBase:
             sp.annotate(kind="bgp", vertices=len(qgraph.vertices))
             return qgraph
 
+    def execute(
+        self,
+        query: str | SelectQuery,
+        *,
+        mode: str = "select",
+        timeout_seconds: float | None = None,
+        max_solutions: int | None = None,
+    ) -> QueryOutcome:
+        """The unified entry point: answer ``query`` in the requested ``mode``.
+
+        ``mode`` is one of :data:`EXECUTE_MODES` — ``select`` returns rows,
+        ``count`` the number of solution rows, ``ask`` solution existence
+        and ``explain`` the prepared plan outline (no matching happens).
+        ``timeout_seconds`` overrides the engine-level matcher timeout
+        (:class:`QueryTimeout` is raised when exceeded); ``max_solutions``
+        applies to ``select`` only.
+
+        The historical per-mode methods :meth:`query`, :meth:`count`,
+        :meth:`ask` and :meth:`explain` remain as thin wrappers.
+        """
+        if mode == "select":
+            return QueryOutcome(
+                "select", result=self._execute_select(query, timeout_seconds, max_solutions)
+            )
+        if mode == "count":
+            return QueryOutcome("count", count=self._execute_count(query, timeout_seconds))
+        if mode == "ask":
+            return QueryOutcome("ask", boolean=self._execute_ask(query, timeout_seconds))
+        if mode == "explain":
+            return QueryOutcome("explain", plan=self._execute_explain(query))
+        raise ValueError(f"unknown execute mode {mode!r} (expected one of {EXECUTE_MODES})")
+
     def query(
         self,
         query: str | SelectQuery,
@@ -190,31 +259,70 @@ class QueryEngineBase:
     ) -> ResultSet:
         """Answer a SPARQL SELECT query and return its result set.
 
-        ``timeout_seconds`` overrides the engine-level matcher timeout;
-        :class:`QueryTimeout` is raised when it is exceeded.
+        Thin wrapper over ``execute(mode="select")`` — prefer
+        :meth:`execute` in new code.
         """
-        parsed, plan = self.prepare(query)
-        with span("engine.match") as sp:
-            rows = self._solutions(parsed, plan, timeout_seconds, max_solutions)
-            result = ResultSet.for_query(parsed, rows)
-            sp.annotate(rows=len(result))
-        return result
+        return self.execute(
+            query, mode="select", timeout_seconds=timeout_seconds, max_solutions=max_solutions
+        ).result
 
     def count(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> int:
         """Return the number of solution rows of ``query``.
 
-        Solutions are streamed and counted without materialising the full
-        :class:`ResultSet`; DISTINCT, LIMIT and OFFSET semantics match
-        ``query()`` — including the engine-level ``max_solutions`` cap, which
-        bounds the solution stream before the modifiers apply.
+        Thin wrapper over ``execute(mode="count")`` — prefer
+        :meth:`execute` in new code.
+        """
+        return self.execute(query, mode="count", timeout_seconds=timeout_seconds).count
+
+    def ask(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> bool:
+        """Return True when the query has at least one solution.
+
+        Thin wrapper over ``execute(mode="ask")`` — prefer :meth:`execute`
+        in new code.
+        """
+        return self.execute(query, mode="ask", timeout_seconds=timeout_seconds).boolean
+
+    def explain(self, query: str | SelectQuery) -> dict:
+        """Describe the prepared plan of ``query`` without executing it.
+
+        Thin wrapper over ``execute(mode="explain")`` — prefer
+        :meth:`execute` in new code.
+        """
+        return self.execute(query, mode="explain").plan
+
+    # ------------------------------------------------------------------ #
+    # per-mode implementations behind execute()
+    # ------------------------------------------------------------------ #
+    def _execute_select(
+        self,
+        query: str | SelectQuery,
+        timeout_seconds: float | None,
+        max_solutions: int | None,
+    ) -> ResultSet:
+        parsed, plan = self.prepare(query)
+        with span("engine.match", backend=self.match_backend) as sp:
+            result = self._fast_select(parsed, plan, timeout_seconds, max_solutions)
+            if result is None:
+                rows = self._solutions(parsed, plan, timeout_seconds, max_solutions)
+                result = ResultSet.for_query(parsed, rows)
+            sp.annotate(rows=len(result))
+        return result
+
+    def _execute_count(self, query: str | SelectQuery, timeout_seconds: float | None) -> int:
+        """Count solution rows without materialising the full result set.
+
+        DISTINCT, LIMIT and OFFSET semantics match ``query()`` — including
+        the engine-level ``max_solutions`` cap, which bounds the solution
+        stream before the modifiers apply.
         """
         parsed, plan = self.prepare(query)
         limit, offset = parsed.limit, parsed.offset or 0
         # Rows of the (capped) stream needed to answer exactly; None = all.
         needed = None if limit is None else offset + limit
         cap = self.config.max_solutions
-        with span("engine.match") as sp:
-            if parsed.distinct:
+        with span("engine.match", backend=self.match_backend) as sp:
+            total = self._fast_count(parsed, plan, timeout_seconds)
+            if total is None and parsed.distinct:
                 # Deduplication needs the projected rows, but only their set —
                 # the row list itself is never built.
                 variables = parsed.answer_variables()
@@ -224,7 +332,7 @@ class QueryEngineBase:
                     if needed is not None and len(seen) >= needed:
                         break
                 total = len(seen)
-            else:
+            elif total is None:
                 # Stop the stream early only when that cannot loosen the engine
                 # cap (query() applies the cap first, then slices LIMIT/OFFSET).
                 stream_cap = (
@@ -239,15 +347,50 @@ class QueryEngineBase:
         after_offset = max(0, total - offset)
         return after_offset if limit is None else min(after_offset, limit)
 
-    def ask(self, query: str | SelectQuery, timeout_seconds: float | None = None) -> bool:
-        """Return True when the query has at least one solution."""
+    def _execute_ask(self, query: str | SelectQuery, timeout_seconds: float | None) -> bool:
         parsed, plan = self.prepare(query)
-        with span("engine.match") as sp:
+        with span("engine.match", backend=self.match_backend) as sp:
             for _ in self._solutions(parsed, plan, timeout_seconds, 1):
                 sp.annotate(rows=1)
                 return True
             sp.annotate(rows=0)
         return False
+
+    def _execute_explain(self, query: str | SelectQuery) -> dict:
+        """The prepared plan outline, annotated with the matching backend."""
+        parsed, plan = self.prepare(query)
+        if isinstance(plan, AlgebraPlan):
+            outline = plan_outline(plan.root)
+        else:
+            outline = {
+                "op": "bgp",
+                "vertices": len(plan.vertices),
+                "components": len(plan.connected_components()),
+            }
+        outline["match_backend"] = self.match_backend
+        return outline
+
+    # ------------------------------------------------------------------ #
+    # backend shortcut hooks
+    # ------------------------------------------------------------------ #
+    def _fast_select(
+        self,
+        parsed: SelectQuery,
+        plan: QueryMultigraph | AlgebraPlan,
+        timeout_seconds: float | None,
+        max_solutions: int | None,
+    ) -> ResultSet | None:
+        """Backend-specific whole-query shortcut; None means use the stream."""
+        return None
+
+    def _fast_count(
+        self,
+        parsed: SelectQuery,
+        plan: QueryMultigraph | AlgebraPlan,
+        timeout_seconds: float | None,
+    ) -> int | None:
+        """Backend-specific whole-query count shortcut; None = stream & count."""
+        return None
 
     # ------------------------------------------------------------------ #
     # mutation plumbing shared with subclasses
@@ -414,10 +557,15 @@ class AmberEngine(QueryEngineBase):
         build_report: BuildReport | None = None,
         config: MatcherConfig | None = None,
         plan_cache: PlanCache | None = None,
+        backend: str | MatchBackend | None = None,
     ):
         self.data = data
         self.indexes = indexes
         self.build_report = build_report
+        # Resolved before the config assignment: the config setter rebuilds
+        # the shared matcher through the backend.  None/"auto" picks the
+        # vectorized core when numpy is importable, scalar otherwise.
+        self._backend = resolve_backend(backend)
         self.config = config or MatcherConfig()
         #: Optional plan cache consulted by :meth:`prepare` for string queries.
         self.plan_cache = plan_cache
@@ -438,7 +586,27 @@ class AmberEngine(QueryEngineBase):
         # override timeout/row-limit — including concurrent ones.  Rebuilding
         # it here keeps post-construction config assignment working.
         self._config = value or MatcherConfig()
-        self._default_matcher = MultigraphMatcher(self.data, self.indexes, self._config)
+        self._default_matcher = self._backend.matcher(self.data, self.indexes, self._config)
+
+    @property
+    def match_backend(self) -> str:
+        """Name of the active matching backend (``scalar`` or ``vectorized``)."""
+        return self._backend.name
+
+    @match_backend.setter
+    def match_backend(self, value: str | MatchBackend | None) -> None:
+        self._backend = resolve_backend(value)
+        self._default_matcher = self._backend.matcher(self.data, self.indexes, self._config)
+
+    @property
+    def matcher(self) -> MultigraphMatcher:
+        """The shared backend-built matching core (the matcher protocol object).
+
+        The cluster scatter stage drives its per-shard star matching through
+        this object's candidates / star-match / verify methods, so a shard's
+        backend choice applies there too.
+        """
+        return self._default_matcher
 
     # ------------------------------------------------------------------ #
     # offline stage
@@ -449,6 +617,7 @@ class AmberEngine(QueryEngineBase):
         triples: Iterable[Triple],
         config: MatcherConfig | None = None,
         rtree_fanout: int = 16,
+        backend: str | MatchBackend | None = None,
     ) -> "AmberEngine":
         """Build the engine (multigraph + indexes) from an iterable of triples."""
         start = time.perf_counter()
@@ -470,27 +639,47 @@ class AmberEngine(QueryEngineBase):
             attributes=stats["attributes"],
             index_items=indexes.report.total_items if indexes.report else 0,
         )
-        return cls(data, indexes, report, config)
+        return cls(data, indexes, report, config, backend=backend)
 
     @classmethod
-    def from_store(cls, store: TripleStore, config: MatcherConfig | None = None) -> "AmberEngine":
+    def from_store(
+        cls,
+        store: TripleStore,
+        config: MatcherConfig | None = None,
+        backend: str | MatchBackend | None = None,
+    ) -> "AmberEngine":
         """Build the engine from a :class:`TripleStore`."""
-        return cls.from_triples(iter(store), config=config)
+        return cls.from_triples(iter(store), config=config, backend=backend)
 
     @classmethod
-    def from_ntriples(cls, text: str, config: MatcherConfig | None = None) -> "AmberEngine":
+    def from_ntriples(
+        cls,
+        text: str,
+        config: MatcherConfig | None = None,
+        backend: str | MatchBackend | None = None,
+    ) -> "AmberEngine":
         """Build the engine from an N-Triples document string."""
-        return cls.from_triples(parse_ntriples(text), config=config)
+        return cls.from_triples(parse_ntriples(text), config=config, backend=backend)
 
     @classmethod
-    def from_ntriples_file(cls, path, config: MatcherConfig | None = None) -> "AmberEngine":
+    def from_ntriples_file(
+        cls,
+        path,
+        config: MatcherConfig | None = None,
+        backend: str | MatchBackend | None = None,
+    ) -> "AmberEngine":
         """Build the engine from an ``.nt`` file."""
-        return cls.from_triples(parse_ntriples_file(path), config=config)
+        return cls.from_triples(parse_ntriples_file(path), config=config, backend=backend)
 
     @classmethod
-    def from_turtle(cls, text: str, config: MatcherConfig | None = None) -> "AmberEngine":
+    def from_turtle(
+        cls,
+        text: str,
+        config: MatcherConfig | None = None,
+        backend: str | MatchBackend | None = None,
+    ) -> "AmberEngine":
         """Build the engine from a Turtle document string."""
-        return cls.from_triples(parse_turtle(text), config=config)
+        return cls.from_triples(parse_turtle(text), config=config, backend=backend)
 
     # ------------------------------------------------------------------ #
     # dynamic updates
@@ -546,7 +735,77 @@ class AmberEngine(QueryEngineBase):
                 max_solutions if max_solutions is not None else self.config.max_solutions
             ),
         )
-        return MultigraphMatcher(self.data, self.indexes, config)
+        return self._backend.matcher(self.data, self.indexes, config)
+
+    def _columnar_batch(self, qgraph: QueryMultigraph, timeout_seconds: float | None):
+        """Solve a single-component BGP in one columnar batch (None = no path).
+
+        The batch is fully enumerated under the query deadline; expanding
+        it into rows is left to the caller (lazily, outside the budget).
+        """
+        if qgraph.unsatisfiable or any(v.unsatisfiable for v in qgraph.vertices.values()):
+            return None
+        components = qgraph.connected_components()
+        if len(components) != 1:
+            return None
+        matcher = self._matcher_for(timeout_seconds, None)
+        columnar = getattr(matcher, "match_component_columnar", None)
+        if columnar is None:
+            return None
+        timeout = timeout_seconds if timeout_seconds is not None else self.config.timeout_seconds
+        return columnar(qgraph, components[0], Deadline(timeout))
+
+    def _fast_select(
+        self,
+        parsed: SelectQuery,
+        plan: QueryMultigraph | AlgebraPlan,
+        timeout_seconds: float | None,
+        max_solutions: int | None,
+    ) -> ResultSet | None:
+        """Columnar whole-query shortcut: factored solutions + lazy rows.
+
+        Eligible plain-BGP SELECTs (single component, no DISTINCT/LIMIT/
+        OFFSET, no row cap) skip the solution stream entirely: the
+        vectorized matcher returns factored solutions whose embedding count
+        is known up front, so the result set materialises its rows only if
+        someone actually reads them.
+        """
+        if not isinstance(plan, QueryMultigraph):
+            return None
+        if parsed.distinct or parsed.limit is not None or parsed.offset:
+            return None
+        if max_solutions is not None or self.config.max_solutions is not None:
+            return None
+        batch = self._columnar_batch(plan, timeout_seconds)
+        if batch is None:
+            return None
+        variables = parsed.answer_variables()
+
+        def expand():
+            rows = columnar_bindings(batch, plan, self.data)
+            return (row.project(variables) for row in rows)
+
+        return ResultSet.lazy(variables, batch.total_embeddings(), expand)
+
+    def _fast_count(
+        self,
+        parsed: SelectQuery,
+        plan: QueryMultigraph | AlgebraPlan,
+        timeout_seconds: float | None,
+    ) -> int | None:
+        """Columnar counting: total embeddings without expanding any row.
+
+        LIMIT/OFFSET arithmetic happens in the caller over the true total,
+        exactly as the streamed path computes it.
+        """
+        if not isinstance(plan, QueryMultigraph) or parsed.distinct:
+            return None
+        if self.config.max_solutions is not None:
+            return None
+        batch = self._columnar_batch(plan, timeout_seconds)
+        if batch is None:
+            return None
+        return batch.total_embeddings()
 
     def _component_rows(
         self,

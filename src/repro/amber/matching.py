@@ -163,7 +163,7 @@ class MultigraphMatcher:
         if not decomposition.core:
             return
 
-        ordered_core = order_core_vertices(qgraph, decomposition, strategy=self.config.ordering)
+        ordered_core = self._ordered_core(qgraph, decomposition)
         initial = ordered_core[0]
 
         # The recursion below is the hot loop and stays uninstrumented; one
@@ -244,11 +244,46 @@ class MultigraphMatcher:
                 return
 
     # ------------------------------------------------------------------ #
-    # public candidate generation (used by the cluster scatter stage)
+    # the MatchBackend matcher protocol: candidates / star-match / verify
+    # (used by the cluster scatter stage and by alternative backends)
     # ------------------------------------------------------------------ #
     def initial_candidates(self, qgraph: QueryMultigraph, vertex: int) -> set[int]:
         """Signature-index candidates for ``vertex`` (Lemma 1 pruning)."""
         return self._initial_candidates(qgraph, vertex)
+
+    def match_satellites(
+        self,
+        qgraph: QueryMultigraph,
+        satellites: list[int],
+        core_vertex: int,
+        data_vertex: int,
+    ) -> dict[int, set[int]] | None:
+        """Star-match: resolve the satellites of one matched core vertex.
+
+        Returns one candidate set per satellite (the factored solution-set
+        representation of Lemma 2), or None when any satellite has no match.
+        """
+        return self._match_satellites(qgraph, satellites, core_vertex, data_vertex)
+
+    def verify_embedding(self, qgraph: QueryMultigraph, embedding: dict[int, int]) -> bool:
+        """Verify one full query-vertex -> data-vertex mapping edge by edge.
+
+        The ground-truth check behind every backend: attributes, IRI
+        constraints and multi-edge containment are re-tested against the
+        indexes, independent of how the embedding was produced.  Used by
+        the test suite to cross-check scalar and vectorized solutions.
+        """
+        for query_vertex, data_vertex in embedding.items():
+            refined = self._process_vertex(qgraph.vertices[query_vertex])
+            if refined is not None and data_vertex not in refined:
+                return False
+        for source, target, types in qgraph.graph.edges():
+            if source not in embedding or target not in embedding:
+                continue
+            found = self.indexes.neighborhoods.neighbors(embedding[target], INCOMING, types)
+            if embedding[source] not in found:
+                return False
+        return True
 
     def vertex_candidates(self, vertex: QueryVertex) -> set[int] | None:
         """Attribute/IRI-constraint candidates for ``vertex`` (Algorithm 1).
@@ -319,6 +354,23 @@ class MultigraphMatcher:
     # ------------------------------------------------------------------ #
     # candidate generation helpers
     # ------------------------------------------------------------------ #
+    def _ordered_core(self, qgraph: QueryMultigraph, decomposition: QueryDecomposition) -> list[int]:
+        """The core matching order, feeding estimates to cardinality ordering."""
+        cardinality = None
+        if self.config.ordering == "cardinality":
+            cardinality = {
+                u: self._cardinality_estimate(qgraph.vertices[u]) for u in decomposition.core
+            }
+        return order_core_vertices(
+            qgraph, decomposition, strategy=self.config.ordering, cardinality=cardinality
+        )
+
+    def _cardinality_estimate(self, vertex: QueryVertex) -> int:
+        """Cheap upper bound on a vertex's candidates: its smallest posting."""
+        if not vertex.has_attributes:
+            return len(self.data.graph)
+        return min(len(self.indexes.attributes.vertices_with(a)) for a in vertex.attributes)
+
     def _initial_candidates(self, qgraph: QueryMultigraph, vertex: int) -> set[int]:
         """Candidates for the initial vertex from the signature index (or full scan)."""
         incoming = [frozenset(types) for types in qgraph.graph.in_neighbors(vertex).values()]

@@ -21,6 +21,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterable, Iterator
 
+from ..amber.engine import EXECUTE_MODES, QueryOutcome
 from ..rdf.dataset import TripleStore
 from ..sparql.algebra import SelectQuery
 from ..sparql.bindings import Binding, ResultSet
@@ -44,12 +45,41 @@ class BaselineEngine(ABC):
     #: Human-readable engine name used in benchmark reports.
     name = "baseline"
 
+    #: Baselines have no pluggable matching core; reported for API parity
+    #: with the multigraph engines (/stats, EXPLAIN outlines).
+    match_backend = "scalar"
+
     def __init__(self, store: TripleStore):
         self.store = store
 
     @abstractmethod
     def _evaluate(self, query: SelectQuery, deadline: Deadline) -> Iterable[Binding]:
         """Yield every solution binding of the basic graph pattern."""
+
+    def execute(
+        self,
+        query: str | SelectQuery,
+        *,
+        mode: str = "select",
+        timeout_seconds: float | None = None,
+        max_solutions: int | None = None,
+    ) -> QueryOutcome:
+        """The unified entry point, mirroring ``QueryEngineBase.execute``."""
+        if mode == "select":
+            return QueryOutcome(
+                "select",
+                result=self.query(
+                    query, timeout_seconds=timeout_seconds, max_solutions=max_solutions
+                ),
+            )
+        if mode == "count":
+            return QueryOutcome("count", count=self.count(query, timeout_seconds=timeout_seconds))
+        if mode == "ask":
+            return QueryOutcome("ask", boolean=self.ask(query, timeout_seconds=timeout_seconds))
+        if mode == "explain":
+            plan = {"op": "baseline", "engine": self.name, "match_backend": self.match_backend}
+            return QueryOutcome("explain", plan=plan)
+        raise ValueError(f"unknown execute mode {mode!r} (expected one of {EXECUTE_MODES})")
 
     def query(
         self,

@@ -166,6 +166,22 @@ class ShardedEngine(QueryEngineBase):
         self._mutator = ClusterMutator(self)
 
     # ------------------------------------------------------------------ #
+    # matching backend (delegated to the shard engines)
+    # ------------------------------------------------------------------ #
+    @property
+    def match_backend(self) -> str:
+        """The shard engines' matching backend (they always agree)."""
+        return self.shards[0].match_backend
+
+    @match_backend.setter
+    def match_backend(self, value) -> None:
+        for engine in self.shards:
+            engine.match_backend = value
+        if self.executor == "process":
+            # Worker processes built engines with the old backend choice.
+            self._shutdown_pool()
+
+    # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
     @classmethod
@@ -178,6 +194,7 @@ class ShardedEngine(QueryEngineBase):
         executor: str = "thread",
         hub_threshold: int | None = None,
         rtree_fanout: int = 16,
+        backend=None,
     ) -> "ShardedEngine":
         """Partition ``data`` and build one indexed engine per shard."""
         start = time.perf_counter()
@@ -186,7 +203,12 @@ class ShardedEngine(QueryEngineBase):
 
         start = time.perf_counter()
         engines = [
-            AmberEngine(shard, IndexSet.build(shard, rtree_fanout=rtree_fanout), config=config)
+            AmberEngine(
+                shard,
+                IndexSet.build(shard, rtree_fanout=rtree_fanout),
+                config=config,
+                backend=backend,
+            )
             for shard in sharded.shards
         ]
         index_seconds = time.perf_counter() - start
@@ -220,11 +242,13 @@ class ShardedEngine(QueryEngineBase):
         cls,
         sharded: ShardedData,
         config: MatcherConfig | None = None,
+        backend=None,
         **kwargs,
     ) -> "ShardedEngine":
         """Build shard engines over already-partitioned data."""
         engines = [
-            AmberEngine(shard, IndexSet.build(shard), config=config) for shard in sharded.shards
+            AmberEngine(shard, IndexSet.build(shard), config=config, backend=backend)
+            for shard in sharded.shards
         ]
         return cls(engines, sharded.owner, sharded.triple_count, config=config, **kwargs)
 
@@ -382,6 +406,7 @@ class ShardedEngine(QueryEngineBase):
                             [engine.data for engine in self.shards],
                             self.owner,
                             self.config,
+                            self.match_backend,
                         ),
                     )
                 else:
@@ -605,11 +630,17 @@ def _expand_embeddings(states: list[_JoinState], deadline: Deadline) -> Iterator
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(shards: list[DataMultigraph], owner: dict[int, int], config: MatcherConfig):
+def _init_worker(
+    shards: list[DataMultigraph],
+    owner: dict[int, int],
+    config: MatcherConfig,
+    backend: str = "auto",
+):
     """Process-pool initializer: receive the shard payload once per worker."""
     _WORKER_STATE["shards"] = shards
     _WORKER_STATE["owner"] = owner
     _WORKER_STATE["config"] = config
+    _WORKER_STATE["backend"] = backend
     _WORKER_STATE["engines"] = {}
 
 
@@ -619,7 +650,12 @@ def _worker_engine(shard: int) -> AmberEngine:
     engine = engines.get(shard)
     if engine is None:
         data = _WORKER_STATE["shards"][shard]
-        engine = AmberEngine(data, IndexSet.build(data), config=_WORKER_STATE["config"])
+        engine = AmberEngine(
+            data,
+            IndexSet.build(data),
+            config=_WORKER_STATE["config"],
+            backend=_WORKER_STATE.get("backend", "auto"),
+        )
         engines[shard] = engine
     return engine
 

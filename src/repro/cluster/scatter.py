@@ -31,7 +31,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..amber.engine import AmberEngine
-from ..amber.matching import MultigraphMatcher
 from ..multigraph.query_graph import QueryMultigraph
 from ..timing import Deadline
 
@@ -124,7 +123,10 @@ def match_star(
     dropped eagerly instead of surviving until the join.
     """
     restrict = restrict or {}
-    matcher = MultigraphMatcher(engine.data, engine.indexes, engine.config)
+    # The shard engine's backend-built matcher: candidates come through the
+    # MatchBackend protocol, so a vectorized shard serves its star anchors
+    # and leaf sets from columnar posting arrays.
+    matcher = engine.matcher
     candidates = matcher.initial_candidates(qgraph, star.root)
     refined = matcher.vertex_candidates(qgraph.vertices[star.root])
     if refined is not None:

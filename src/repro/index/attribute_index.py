@@ -9,6 +9,7 @@ in ``u.A``.
 from __future__ import annotations
 
 from ..multigraph.graph import Multigraph
+from .columnar import as_sorted_array, intersect_sorted, require_numpy
 
 __all__ = ["AttributeIndex"]
 
@@ -18,12 +19,16 @@ class AttributeIndex:
 
     def __init__(self, graph: Multigraph | None = None):
         self._postings: dict[int, set[int]] = {}
+        #: Lazily built sorted posting arrays for the vectorized backend,
+        #: dropped per attribute on mutation so they never serve stale data.
+        self._arrays: dict[int, object] = {}
         if graph is not None:
             self.build(graph)
 
     def build(self, graph: Multigraph) -> "AttributeIndex":
         """(Re)build the inverted lists from the data multigraph."""
         self._postings.clear()
+        self._arrays.clear()
         for vertex in graph.vertices():
             for attribute in graph.attributes(vertex):
                 self._postings.setdefault(attribute, set()).add(vertex)
@@ -32,6 +37,7 @@ class AttributeIndex:
     def add(self, vertex: int, attribute: int) -> None:
         """Incrementally register ``attribute`` on ``vertex``."""
         self._postings.setdefault(attribute, set()).add(vertex)
+        self._arrays.pop(attribute, None)
 
     def remove(self, vertex: int, attribute: int) -> None:
         """Incrementally drop ``attribute`` from ``vertex``.
@@ -43,6 +49,7 @@ class AttributeIndex:
         if posting is None:
             return
         posting.discard(vertex)
+        self._arrays.pop(attribute, None)
         if not posting:
             del self._postings[attribute]
 
@@ -69,6 +76,26 @@ class AttributeIndex:
             if not result:
                 break
         return result
+
+    def posting_array(self, attribute: int):
+        """Return the inverted list of ``attribute`` as a sorted int64 array.
+
+        Arrays are memoised per attribute and invalidated by :meth:`add` /
+        :meth:`remove`, so under SPARQL UPDATE they stay byte-identical to a
+        rebuild.  Requires numpy (the ``repro[fast]`` extra).
+        """
+        require_numpy("AttributeIndex.posting_array")
+        array = self._arrays.get(attribute)
+        if array is None:
+            array = as_sorted_array(self._postings.get(attribute, ()))
+            self._arrays[attribute] = array
+        return array
+
+    def candidate_array(self, attributes: set[int] | frozenset[int]):
+        """Columnar :meth:`candidates`: batch-intersect sorted posting arrays."""
+        if not attributes:
+            raise ValueError("attribute candidate lookup requires a non-empty attribute set")
+        return intersect_sorted([self.posting_array(a) for a in attributes])
 
     def attribute_count(self) -> int:
         """Return the number of distinct attributes indexed."""

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 
 from ..multigraph.builder import DataMultigraph
 from .attribute_index import AttributeIndex
+from .columnar import ColumnarEdges
 from .neighborhood import NeighborhoodIndex
 from .signature_index import SignatureIndex
 
@@ -49,6 +50,9 @@ class IndexSet:
         self.signatures = signatures
         self.neighborhoods = neighborhoods
         self.report = report
+        #: Columnar CSR adjacency per (edge type, direction), built lazily
+        #: by the vectorized backend and dropped on any edge mutation.
+        self.columnar = ColumnarEdges()
 
     @classmethod
     def build(cls, data: DataMultigraph, rtree_fanout: int = 16) -> "IndexSet":
@@ -92,6 +96,10 @@ class IndexSet:
         """
         self.neighborhoods.refresh_vertex(graph, vertex)
         self.signatures.refresh(graph, vertex)
+        # Edge (or new-vertex) churn invalidates the CSR snapshots wholesale;
+        # they rebuild lazily from the live adjacency on next use, so the
+        # vectorized backend always matches a from-scratch build.
+        self.columnar.invalidate()
 
     def compact(self) -> bool:
         """Give the signature index a chance to re-pack its R-tree."""

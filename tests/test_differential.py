@@ -37,6 +37,7 @@ from hypothesis import strategies as st
 from repro import AmberEngine, IRI, Literal, Triple
 from repro.baselines import NestedLoopEngine
 from repro.cluster import ShardedEngine
+from repro.index.columnar import HAS_NUMPY
 from repro.multigraph import build_data_multigraph
 from repro.rdf.dataset import TripleStore
 from repro.sparql.algebra import (
@@ -365,13 +366,25 @@ def _reference_query(store: TripleStore, query_text: str) -> Counter:
 # --------------------------------------------------------------------------- #
 # the differential check
 # --------------------------------------------------------------------------- #
-def _build_engines(store: TripleStore):
+#: Every multigraph engine runs once per match backend: the vectorized
+#: columnar core must be row-for-row indistinguishable from the scalar
+#: recursion, on static graphs and across interleaved updates.
+BACKENDS = [
+    "scalar",
+    pytest.param(
+        "vectorized",
+        marks=pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed"),
+    ),
+]
+
+
+def _build_engines(store: TripleStore, backend: str = "scalar"):
     data = build_data_multigraph(iter(store))
     return [
         NestedLoopEngine(store),
-        AmberEngine.from_store(store),
-        ShardedEngine.build(data, 2, executor="serial"),
-        ShardedEngine.build(data, 3, executor="serial"),
+        AmberEngine.from_store(store, backend=backend),
+        ShardedEngine.build(data, 2, executor="serial", backend=backend),
+        ShardedEngine.build(data, 3, executor="serial", backend=backend),
     ]
 
 
@@ -386,12 +399,13 @@ def _assert_agreement(store: TripleStore, engines, query: str) -> None:
         )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(triples=_graphs, queries=_query_lists)
 @settings(max_examples=40, deadline=None)
-def test_differential_static(triples, queries):
+def test_differential_static(backend, triples, queries):
     """Random graph, random fragment queries: all engines agree (multisets)."""
     store = TripleStore(triples)
-    engines = _build_engines(store)
+    engines = _build_engines(store, backend)
     for query in queries:
         _assert_agreement(store, engines, query)
 
@@ -403,12 +417,13 @@ _update_ops = st.lists(
 )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(triples=_graphs, queries=st.lists(_query_text(), min_size=2, max_size=2), ops=_update_ops)
 @settings(max_examples=25, deadline=None)
-def test_differential_with_interleaved_updates(triples, queries, ops):
+def test_differential_with_interleaved_updates(backend, triples, queries, ops):
     """Agreement must survive incremental INSERT DATA / DELETE DATA batches."""
     store = TripleStore(triples)
-    engines = _build_engines(store)
+    engines = _build_engines(store, backend)
     for query in queries:
         _assert_agreement(store, engines, query)
 

@@ -130,14 +130,14 @@ class TestEngineService:
         service = EngineService(engine, ServiceConfig(max_in_flight=1, result_cache_size=0))
         entered = threading.Event()
         release = threading.Event()
-        real_query = engine.query
+        real_execute = engine.execute
 
-        def blocking_query(*args, **kwargs):
+        def blocking_execute(*args, **kwargs):
             entered.set()
             release.wait(timeout=5)
-            return real_query(*args, **kwargs)
+            return real_execute(*args, **kwargs)
 
-        engine.query = blocking_query  # instance attribute shadows the method
+        engine.execute = blocking_execute  # instance attribute shadows the method
         try:
             worker = threading.Thread(target=lambda: service.execute(QUERY), daemon=True)
             worker.start()
@@ -147,7 +147,7 @@ class TestEngineService:
         finally:
             release.set()
             worker.join(timeout=5)
-            del engine.query
+            del engine.execute
         stats = service.stats()["queries"]
         assert stats["rejected"] == 1
         assert stats["answered"] == 1
