@@ -12,6 +12,14 @@ The ``tracing="auto"`` figure (metrics-only spans feeding the stage
 histograms) is measured and recorded alongside for the trajectory, but not
 gated — it pays for real clock reads per stage and its acceptable cost is
 a product decision, not a regression guard.
+
+The same contract covers per-query resource accounting
+(:mod:`repro.telemetry.accounting`): its counting sites in the matchers and
+streaming operators cost one thread-local ``getattr`` per call when no
+profile is active.  ``test_profile_accounting_overhead`` gates that
+accounting-off cost against the fully-disabled baseline on *both* match
+backends (the vectorized matcher has its own counting sites) and records
+the accounting-on figure for the trajectory.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from time import perf_counter
 import pytest
 
 from repro import AmberEngine
+from repro.amber.backend import HAS_NUMPY
 from repro.bench import build_dataset, format_table
 from repro.datasets.workload import WorkloadGenerator
 from repro.server import EngineService, ServiceConfig
@@ -110,3 +119,99 @@ def test_telemetry_overhead_within_budget(overhead_setup, record_result):
         f"telemetry with tracing off cost {gated:.4f}s/pass against a "
         f"{baseline:.4f}s baseline — over the {BUDGET:.0%} budget"
     )
+
+
+@pytest.fixture(scope="module")
+def profile_setup(bench_scale):
+    """Per-backend service triples: disabled / accounting off / accounting on.
+
+    Each backend gets its own engine (the backend is an engine-level
+    setting) but all share one dataset and workload, so per-backend numbers
+    are comparable.
+    """
+    store = build_dataset("YAGO", bench_scale)
+    generator = WorkloadGenerator(store, seed=bench_scale.seed)
+    queries = [
+        str(item.query)
+        for shape, size in (("star", 10), ("star", 20), ("complex", 10))
+        for item in generator.workload(shape, size, bench_scale.queries_per_size)
+    ]
+    backends = ("scalar", "vectorized") if HAS_NUMPY else ("scalar",)
+    services: list[EngineService] = []
+
+    def make_service(engine: AmberEngine, **config) -> EngineService:
+        defaults = dict(
+            default_timeout_seconds=bench_scale.timeout_seconds,
+            max_rows=50,
+            plan_cache_size=256,
+            tracing="off",
+        )
+        defaults.update(config)
+        service = EngineService(engine, ServiceConfig(**defaults))
+        services.append(service)
+        return service
+
+    setups = {}
+    for backend in backends:
+        engine = AmberEngine.from_store(store, backend=backend)
+        setups[backend] = {
+            "disabled": make_service(engine, metrics_enabled=False),
+            "accounting off": make_service(engine),
+            "accounting on": make_service(engine, profiling=True),
+        }
+    yield setups, queries
+    for service in services:
+        service.close()
+
+
+def test_profile_accounting_overhead(profile_setup, record_result, record_json):
+    """Accounting-off must stay in budget on both backends; on is recorded."""
+    setups, queries = profile_setup
+    payload: dict = {
+        "rounds": ROUNDS,
+        "repeats": REPEATS,
+        "budget_pct": 100.0 * BUDGET,
+        "backends": {},
+    }
+    rows = []
+    failures = []
+    for backend, services in setups.items():
+        for service in services.values():  # warm plan caches out of the timings
+            _time_pass(service, queries)
+        best: dict[str, float] = {name: float("inf") for name in services}
+        for _ in range(ROUNDS):
+            for name, service in services.items():
+                best[name] = min(best[name], _time_pass(service, queries))
+        baseline = best["disabled"]
+        gated = best["accounting off"]
+        payload["backends"][backend] = {
+            "disabled_seconds": round(baseline, 6),
+            "accounting_off_seconds": round(gated, 6),
+            "accounting_on_seconds": round(best["accounting on"], 6),
+            "accounting_off_overhead_pct": round(100.0 * (gated / baseline - 1.0), 2),
+            "accounting_on_overhead_pct": round(
+                100.0 * (best["accounting on"] / baseline - 1.0), 2
+            ),
+        }
+        rows.extend(
+            [f"{backend}: {name}", seconds, 100.0 * (seconds / baseline - 1.0)]
+            for name, seconds in best.items()
+        )
+        if gated > baseline * (1.0 + BUDGET) + ABSOLUTE_SLACK:
+            failures.append(
+                f"{backend}: accounting off cost {gated:.4f}s/pass against a "
+                f"{baseline:.4f}s baseline — over the {BUDGET:.0%} budget"
+            )
+    record_result(
+        "profile_overhead.txt",
+        format_table(
+            ["configuration", "min pass seconds", "overhead %"],
+            rows,
+            title=(
+                f"Resource-accounting overhead ({REPEATS}x{len(queries)} "
+                f"queries/pass, min of {ROUNDS})"
+            ),
+        ),
+    )
+    record_json("BENCH_profile_overhead.json", payload)
+    assert not failures, "; ".join(failures)

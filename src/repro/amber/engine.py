@@ -14,7 +14,6 @@ core/satellite homomorphic matching of Section 5.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Protocol
 
@@ -30,8 +29,9 @@ from ..sparql.bindings import Binding, ResultSet
 from ..sparql.eval import BGPNode, compile_pattern, plan_outline, stream_plan
 from ..sparql.parser import parse_sparql
 from ..sparql.update import UpdateRequest, parse_update
+from ..telemetry.accounting import QueryProfile, current_profile, start_profile
 from ..telemetry.trace import span
-from ..timing import Deadline
+from ..timing import Deadline, monotonic
 from .backend import MatchBackend, resolve_backend
 from .embeddings import columnar_bindings, combine_component_bindings, component_bindings
 from .matching import MatcherConfig, MultigraphMatcher, QueryTimeout
@@ -50,7 +50,7 @@ __all__ = [
 ]
 
 #: The request kinds :meth:`QueryEngineBase.execute` understands.
-EXECUTE_MODES = ("select", "count", "ask", "explain")
+EXECUTE_MODES = ("select", "count", "ask", "explain", "analyze")
 
 
 @dataclass(frozen=True)
@@ -59,7 +59,8 @@ class QueryOutcome:
 
     Exactly one payload field is populated, matching ``mode``: ``result``
     for ``select``, ``count`` for ``count``, ``boolean`` for ``ask`` and
-    ``plan`` for ``explain``.  :attr:`value` returns whichever one applies.
+    ``plan`` for ``explain`` and ``analyze``.  :attr:`value` returns
+    whichever one applies.
     """
 
     mode: str
@@ -76,6 +77,7 @@ class QueryOutcome:
             "count": self.count,
             "ask": self.boolean,
             "explain": self.plan,
+            "analyze": self.plan,
         }[self.mode]
 
 
@@ -230,11 +232,13 @@ class QueryEngineBase:
         """The unified entry point: answer ``query`` in the requested ``mode``.
 
         ``mode`` is one of :data:`EXECUTE_MODES` — ``select`` returns rows,
-        ``count`` the number of solution rows, ``ask`` solution existence
-        and ``explain`` the prepared plan outline (no matching happens).
-        ``timeout_seconds`` overrides the engine-level matcher timeout
-        (:class:`QueryTimeout` is raised when exceeded); ``max_solutions``
-        applies to ``select`` only.
+        ``count`` the number of solution rows, ``ask`` solution existence,
+        ``explain`` the prepared plan outline with estimated cardinalities
+        (no matching happens) and ``analyze`` the same outline annotated
+        with *measured* per-operator row counts plus the full resource
+        profile (the query **is** executed).  ``timeout_seconds`` overrides
+        the engine-level matcher timeout (:class:`QueryTimeout` is raised
+        when exceeded); ``max_solutions`` applies to ``select`` only.
 
         The historical per-mode methods :meth:`query`, :meth:`count`,
         :meth:`ask` and :meth:`explain` remain as thin wrappers.
@@ -249,6 +253,8 @@ class QueryEngineBase:
             return QueryOutcome("ask", boolean=self._execute_ask(query, timeout_seconds))
         if mode == "explain":
             return QueryOutcome("explain", plan=self._execute_explain(query))
+        if mode == "analyze":
+            return QueryOutcome("analyze", plan=self._execute_analyze(query, timeout_seconds))
         raise ValueError(f"unknown execute mode {mode!r} (expected one of {EXECUTE_MODES})")
 
     def query(
@@ -359,16 +365,91 @@ class QueryEngineBase:
     def _execute_explain(self, query: str | SelectQuery) -> dict:
         """The prepared plan outline, annotated with the matching backend."""
         parsed, plan = self.prepare(query)
-        if isinstance(plan, AlgebraPlan):
-            outline = plan_outline(plan.root)
-        else:
-            outline = {
-                "op": "bgp",
-                "vertices": len(plan.vertices),
-                "components": len(plan.connected_components()),
-            }
+        outline = self._annotated_outline(plan)
         outline["match_backend"] = self.match_backend
         return outline
+
+    def _execute_analyze(
+        self, query: str | SelectQuery, timeout_seconds: float | None
+    ) -> dict:
+        """``EXPLAIN ANALYZE``: execute the query under a resource profile.
+
+        The query runs through the *streamed* evaluation path (never the
+        columnar whole-query shortcut) so that every plan operator is
+        measured; the outline then carries both ``estimated_rows`` and the
+        ``actual_rows`` each operator produced, plus the full counter
+        profile (candidates, intersections, index probes, per-shard
+        sub-profiles on a sharded engine).
+
+        A profile already active on this thread (the service's, when it
+        runs reads under ``profiling``) is reused instead of shadowed, so
+        the caller's slow-log/metrics wiring sees the analyze counters.
+        """
+        parsed, plan = self.prepare(query)
+        profile = current_profile() or QueryProfile()
+        streamed = 0
+
+        def counting(stream: Iterator[Binding]) -> Iterator[Binding]:
+            nonlocal streamed
+            for row in stream:
+                streamed += 1
+                yield row
+
+        with start_profile(profile):
+            with span("engine.match", backend=self.match_backend) as sp:
+                rows = counting(self._solutions(parsed, plan, timeout_seconds, None))
+                result = ResultSet.for_query(parsed, rows)
+                sp.annotate(rows=len(result))
+        outline = self._annotated_outline(plan, profile, streamed)
+        outline["match_backend"] = self.match_backend
+        return {
+            "plan": outline,
+            "rows": len(result),
+            "match_backend": self.match_backend,
+            "profile": profile.as_dict(),
+        }
+
+    def _annotated_outline(
+        self,
+        plan: QueryMultigraph | AlgebraPlan,
+        profile: QueryProfile | None = None,
+        streamed_rows: int | None = None,
+    ) -> dict:
+        """Outline a prepared plan with estimates (and actuals, when profiled).
+
+        The tree shape is backend-independent — both matching backends
+        compile a query to the same operators, so only annotations such as
+        ``match_backend`` may differ between their outlines.  A plain-BGP
+        plan has no operator tree; it reports as one ``bgp`` node whose
+        actual rows are the rows the matcher streamed.
+        """
+        if isinstance(plan, AlgebraPlan):
+
+            def estimator(block: BGPNode) -> int | None:
+                return self._estimate_block_rows(plan.block_graphs[block.index])
+
+            actuals = profile.operator_rows() if profile is not None else None
+            return plan_outline(plan.root, estimator, actuals)
+        outline = {
+            "op": "bgp",
+            "id": 0,
+            "vertices": len(plan.vertices),
+            "components": len(plan.connected_components()),
+        }
+        estimated = self._estimate_block_rows(plan)
+        if estimated is not None:
+            outline["estimated_rows"] = estimated
+        if profile is not None:
+            outline["actual_rows"] = streamed_rows if streamed_rows is not None else 0
+        return outline
+
+    def _estimate_block_rows(self, qgraph: QueryMultigraph) -> int | None:
+        """Estimated result cardinality of one BGP block (subclass hook).
+
+        None means the engine has no estimator; AMbER uses the matcher's
+        smallest-posting bound, the cluster engine sums it over shards.
+        """
+        return None
 
     # ------------------------------------------------------------------ #
     # backend shortcut hooks
@@ -620,13 +701,13 @@ class AmberEngine(QueryEngineBase):
         backend: str | MatchBackend | None = None,
     ) -> "AmberEngine":
         """Build the engine (multigraph + indexes) from an iterable of triples."""
-        start = time.perf_counter()
+        start = monotonic()
         data = build_data_multigraph(triples)
-        database_seconds = time.perf_counter() - start
+        database_seconds = monotonic() - start
 
-        start = time.perf_counter()
+        start = monotonic()
         indexes = IndexSet.build(data, rtree_fanout=rtree_fanout)
-        index_seconds = time.perf_counter() - start
+        index_seconds = monotonic() - start
 
         stats = data.statistics()
         report = BuildReport(
@@ -819,6 +900,22 @@ class AmberEngine(QueryEngineBase):
         matcher = self._matcher_for(timeout_seconds, max_solutions)
         solutions = matcher.match_component(qgraph, component, deadline)
         return component_bindings(solutions, qgraph, self.data)
+
+    def _estimate_block_rows(self, qgraph: QueryMultigraph) -> int | None:
+        """Smallest-posting cardinality bound over the block's vertices.
+
+        The same estimate that drives cardinality matching order: each
+        vertex's candidates are bounded by its smallest attribute posting
+        (the whole graph when unconstrained), and a connected pattern
+        cannot produce more rows than its most selective vertex allows
+        candidate anchors.
+        """
+        if not qgraph.vertices:
+            return 1
+        matcher = self._default_matcher
+        return min(
+            matcher._cardinality_estimate(vertex) for vertex in qgraph.vertices.values()
+        )
 
     def statistics(self) -> dict[str, int]:
         """Return dataset statistics of the loaded multigraph (Table 4)."""

@@ -23,6 +23,7 @@ from typing import Iterator
 
 from ..errors import QueryTimeout
 from ..index.manager import IndexSet
+from ..telemetry.accounting import current_profile
 from ..telemetry.trace import span
 from ..timing import Deadline
 from ..multigraph.builder import DataMultigraph
@@ -171,10 +172,15 @@ class MultigraphMatcher:
         # pruning cost and the starting candidate-set size.
         with span("amber.candidates", vertex=initial) as sp:
             candidates = self._initial_candidates(qgraph, initial)
+            generated = len(candidates)
             refined = self._process_vertex(qgraph.vertices[initial])
             if refined is not None:
                 candidates &= refined
             sp.annotate(candidates=len(candidates))
+        profile = current_profile()
+        if profile is not None:
+            profile.count("candidates.generated", generated)
+            profile.count("candidates.pruned", generated - len(candidates))
         if not candidates:
             return
 
@@ -207,7 +213,11 @@ class MultigraphMatcher:
     ) -> Iterator[ComponentSolution]:
         run.check()
         if depth == len(ordered_core):
-            run.emitted += solution.embedding_count()
+            emitted = solution.embedding_count()
+            run.emitted += emitted
+            profile = current_profile()
+            if profile is not None:
+                profile.count("solutions.emitted", emitted)
             yield solution
             return
 
@@ -217,9 +227,14 @@ class MultigraphMatcher:
             # No matched neighbour constrains this vertex (disconnected core
             # structure); fall back to the signature index.
             candidates = self._initial_candidates(qgraph, next_vertex)
+        generated = len(candidates)
         refined = self._process_vertex(qgraph.vertices[next_vertex])
         if refined is not None:
             candidates &= refined
+        profile = current_profile()
+        if profile is not None:
+            profile.count("candidates.generated", generated)
+            profile.count("candidates.pruned", generated - len(candidates))
         if not candidates:
             return
 
@@ -313,9 +328,12 @@ class MultigraphMatcher:
             return set()
         if not vertex.has_attributes and not vertex.has_iri_constraints:
             return None
+        profile = current_profile()
         candidates: set[int] | None = None
         if vertex.has_attributes:
             candidates = self.indexes.attributes.candidates(vertex.attributes)
+            if profile is not None:
+                profile.count("index.attribute_probes", len(vertex.attributes))
             if not candidates:
                 return set()
         for constraint in vertex.iri_constraints:
@@ -324,6 +342,10 @@ class MultigraphMatcher:
             neighbors = self.indexes.neighborhoods.neighbors(
                 constraint.data_vertex, _flip(constraint.direction), constraint.edge_types
             )
+            if profile is not None:
+                profile.count("index.neighborhood_probes")
+                if candidates is not None:
+                    profile.count("intersections")
             candidates = neighbors if candidates is None else candidates & neighbors
             if not candidates:
                 return set()
@@ -340,12 +362,17 @@ class MultigraphMatcher:
         data_vertex: int,
     ) -> dict[int, set[int]] | None:
         """Resolve every satellite of ``core_vertex``; None when one has no match."""
+        profile = current_profile()
         matches: dict[int, set[int]] = {}
         for satellite in satellites:
             candidates = self._neighbor_candidates(qgraph, core_vertex, data_vertex, satellite)
             refined = self._process_vertex(qgraph.vertices[satellite])
             if refined is not None:
+                if profile is not None:
+                    profile.count("intersections")
                 candidates &= refined
+            if profile is not None:
+                profile.count("satellites.resolved")
             if not candidates:
                 return None
             matches[satellite] = candidates
@@ -381,6 +408,9 @@ class MultigraphMatcher:
                 incoming.append(constraint.edge_types)
             else:
                 outgoing.append(constraint.edge_types)
+        profile = current_profile()
+        if profile is not None:
+            profile.count("index.signature_probes")
         if self.config.use_signature_index:
             return self.indexes.signatures.candidates(incoming, outgoing)
         return set(self.data.graph.vertices())
@@ -389,6 +419,7 @@ class MultigraphMatcher:
         self, qgraph: QueryMultigraph, vertex: int, matched_core: dict[int, int]
     ) -> set[int] | None:
         """Intersect neighbourhood-index candidates from every matched neighbour."""
+        profile = current_profile()
         candidates: set[int] | None = None
         for neighbor_query_vertex, neighbor_data_vertex in matched_core.items():
             if vertex not in qgraph.graph.neighbors(neighbor_query_vertex):
@@ -396,6 +427,8 @@ class MultigraphMatcher:
             neighbor_candidates = self._neighbor_candidates(
                 qgraph, neighbor_query_vertex, neighbor_data_vertex, vertex
             )
+            if profile is not None and candidates is not None:
+                profile.count("intersections")
             candidates = (
                 neighbor_candidates if candidates is None else candidates & neighbor_candidates
             )
@@ -416,13 +449,21 @@ class MultigraphMatcher:
         an edge ``target -> anchor`` is incoming at the anchor (``N+``), an
         edge ``anchor -> target`` is outgoing (``N-``).
         """
+        profile = current_profile()
+        probes = 0
         candidates: set[int] | None = None
         types_in = qgraph.graph.edge_types(target_query_vertex, anchor_query_vertex)
         if types_in:
             found = self.indexes.neighborhoods.neighbors(anchor_data_vertex, INCOMING, types_in)
             candidates = found if candidates is None else candidates & found
+            probes += 1
         types_out = qgraph.graph.edge_types(anchor_query_vertex, target_query_vertex)
         if types_out:
             found = self.indexes.neighborhoods.neighbors(anchor_data_vertex, OUTGOING, types_out)
+            if candidates is not None and profile is not None:
+                profile.count("intersections")
             candidates = found if candidates is None else candidates & found
+            probes += 1
+        if profile is not None and probes:
+            profile.count("index.neighborhood_probes", probes)
         return candidates if candidates is not None else set()

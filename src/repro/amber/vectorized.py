@@ -34,6 +34,7 @@ from ..index.columnar import (
     np,
 )
 from ..multigraph.query_graph import INCOMING, OUTGOING, QueryMultigraph, QueryVertex
+from ..telemetry.accounting import current_profile
 from ..telemetry.trace import span
 from ..timing import Deadline
 from .decompose import QueryDecomposition, decompose_query
@@ -141,6 +142,11 @@ class VectorizedMatcher(MultigraphMatcher):
             except KeyError:
                 return set()
             arrays.append(otil.posting_array(edge_type))
+        profile = current_profile()
+        if profile is not None:
+            profile.count("index.neighborhood_probes", len(arrays))
+            if len(arrays) > 1:
+                profile.count("intersections", len(arrays) - 1)
         return set(intersect_sorted(arrays).tolist())
 
     # ------------------------------------------------------------------ #
@@ -161,6 +167,9 @@ class VectorizedMatcher(MultigraphMatcher):
             # continuing under the same deadline.
             yield from super().match_component(qgraph, component, deadline)
             return
+        profile = current_profile()
+        if profile is not None:
+            profile.count("solutions.emitted", batch.total_embeddings())
         yield from batch.iter_solutions(deadline)
 
     def match_component_columnar(
@@ -211,12 +220,19 @@ class VectorizedMatcher(MultigraphMatcher):
                 refined_cache[vertex] = self._vertex_candidate_array(qgraph.vertices[vertex])
             return refined_cache[vertex]
 
+        profile = current_profile()
         with span("amber.candidates", vertex=initial, backend="vectorized") as sp:
             first = as_sorted_array(self._initial_candidates(qgraph, initial))
+            generated = len(first)
             narrowed = refined(initial)
             if narrowed is not None:
                 first = intersect_sorted([first, narrowed])
             sp.annotate(candidates=len(first))
+        if profile is not None:
+            profile.count("candidates.generated", generated)
+            profile.count("candidates.pruned", generated - len(first))
+            if narrowed is not None:
+                profile.count("intersections")
 
         states = first.reshape(-1, 1)
         satellites: list[list] = []
@@ -294,9 +310,12 @@ class VectorizedMatcher(MultigraphMatcher):
             return np.empty(0, dtype=np.int64)
         if not vertex.has_attributes and not vertex.has_iri_constraints:
             return None
+        profile = current_profile()
         arrays = []
         if vertex.has_attributes:
             arrays.append(self.indexes.attributes.candidate_array(vertex.attributes))
+            if profile is not None:
+                profile.count("index.attribute_probes", len(vertex.attributes))
         for constraint in vertex.iri_constraints:
             if constraint.data_vertex is None:
                 return np.empty(0, dtype=np.int64)
@@ -304,6 +323,10 @@ class VectorizedMatcher(MultigraphMatcher):
                 constraint.data_vertex, _flip(constraint.direction), constraint.edge_types
             )
             arrays.append(as_sorted_array(neighbors))
+            if profile is not None:
+                profile.count("index.neighborhood_probes")
+        if profile is not None and len(arrays) > 1:
+            profile.count("intersections", len(arrays) - 1)
         return intersect_sorted(arrays)
 
     @staticmethod
@@ -334,6 +357,10 @@ class VectorizedMatcher(MultigraphMatcher):
         primary = sizes.index(min(sizes))
         d0, t0 = pairs[primary][0], pairs[primary][1]
         rows, cands = columnar.slice_neighbors(graph, anchors, t0, d0)
+        profile = current_profile()
+        if profile is not None:
+            profile.count("index.neighborhood_probes", len(pairs))
+            profile.count("candidates.generated", len(cands))
         if not len(cands):
             return rows, cands
         mask = np.ones(len(cands), dtype=bool)
@@ -343,6 +370,9 @@ class VectorizedMatcher(MultigraphMatcher):
             mask &= columnar.pair_mask(graph, anchors[rows], cands, edge_type, direction)
         if narrowed is not None:
             mask &= in_sorted(narrowed, cands)
+        if profile is not None:
+            profile.count("intersections", len(pairs) - 1 + (1 if narrowed is not None else 0))
+            profile.count("candidates.pruned", int(len(cands) - mask.sum()))
         return rows[mask], cands[mask]
 
     def _frontier_candidates(
@@ -370,6 +400,10 @@ class VectorizedMatcher(MultigraphMatcher):
         if columnar.slice_count(graph, states[:, column0], t0, d0) > MAX_EXPANSION:
             raise _FrontierOverflow
         rows, cands = columnar.slice_neighbors(graph, states[:, column0], t0, d0)
+        profile = current_profile()
+        if profile is not None:
+            profile.count("index.neighborhood_probes", len(constraints))
+            profile.count("candidates.generated", len(cands))
         if not len(cands):
             return rows, cands
         mask = np.ones(len(cands), dtype=bool)
@@ -380,4 +414,9 @@ class VectorizedMatcher(MultigraphMatcher):
             mask &= columnar.pair_mask(graph, sources, cands, edge_type, direction)
         if narrowed is not None:
             mask &= in_sorted(narrowed, cands)
+        if profile is not None:
+            profile.count(
+                "intersections", len(constraints) - 1 + (1 if narrowed is not None else 0)
+            )
+            profile.count("candidates.pruned", int(len(cands) - mask.sum()))
         return rows[mask], cands[mask]

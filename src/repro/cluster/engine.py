@@ -52,6 +52,7 @@ from ..multigraph.query_graph import QueryMultigraph
 from ..rdf.terms import IRI, BlankNode, Triple
 from ..sparql.bindings import Binding
 from ..sparql.update import UpdateRequest, parse_update
+from ..telemetry.accounting import current_profile, start_profile
 from ..telemetry.trace import record_span, span, timed_iter
 from ..timing import Deadline
 from .mutation import ClusterMutator
@@ -346,19 +347,34 @@ class ShardedEngine(QueryEngineBase):
         in shard order is the exact, duplicate-free global star relation.
 
         Worker-pool threads and processes do not inherit the request
-        thread's trace, so each shard's matching is timed where it runs
-        (the per-shard wall time travels back with the matches) and is
-        recorded here, on the request thread, with :func:`record_span`
-        — a no-op unless the request is traced.
+        thread's trace or query profile, so each shard's matching is timed
+        — and resource-counted — where it runs: the per-shard wall time and
+        the shard's counter dict travel back with the matches (plain dicts
+        pickle across process pools), and are recorded here, on the request
+        thread, with :func:`record_span` / ``absorb_shard`` — no-ops unless
+        the request is traced / profiled.
         """
         restrict = frontier if frontier else None
+        profile = current_profile()
+        profiled = profile is not None
         if self.executor == "serial" or self.workers <= 1 or self.shard_count == 1:
             relation: list[StarMatch] = []
             for shard in range(self.shard_count):
                 begin = perf_counter()
-                matches = match_star(
-                    self.shards[shard], qgraph, star, self.owner, shard, deadline, restrict
-                )
+                if profiled:
+                    # A fresh sub-profile shadows the request profile so the
+                    # inline path attributes counters per shard, exactly as
+                    # the pooled paths do.
+                    with start_profile() as sub:
+                        matches = match_star(
+                            self.shards[shard], qgraph, star, self.owner, shard, deadline,
+                            restrict,
+                        )
+                    profile.absorb_shard(shard, sub.counters)
+                else:
+                    matches = match_star(
+                        self.shards[shard], qgraph, star, self.owner, shard, deadline, restrict
+                    )
                 record_span(
                     "cluster.scatter.shard",
                     perf_counter() - begin,
@@ -371,7 +387,13 @@ class ShardedEngine(QueryEngineBase):
         if self.executor == "process":
             futures = [
                 pool.submit(
-                    _match_star_in_worker, shard, qgraph, star, deadline.remaining(), restrict
+                    _match_star_in_worker,
+                    shard,
+                    qgraph,
+                    star,
+                    deadline.remaining(),
+                    restrict,
+                    profiled,
                 )
                 for shard in range(self.shard_count)
             ]
@@ -379,18 +401,39 @@ class ShardedEngine(QueryEngineBase):
 
             def timed_match(shard: int):
                 begin = perf_counter()
+                if profiled:
+                    with start_profile() as sub:
+                        matches = match_star(
+                            self.shards[shard], qgraph, star, self.owner, shard, deadline,
+                            restrict,
+                        )
+                    return perf_counter() - begin, matches, sub.counters
                 matches = match_star(
                     self.shards[shard], qgraph, star, self.owner, shard, deadline, restrict
                 )
-                return perf_counter() - begin, matches
+                return perf_counter() - begin, matches, None
 
             futures = [pool.submit(timed_match, shard) for shard in range(self.shard_count)]
         relation = []
         for shard, future in enumerate(futures):
-            seconds, matches = future.result()
+            seconds, matches, counters = future.result()
             record_span("cluster.scatter.shard", seconds, shard=shard, matches=len(matches))
+            if profiled and counters:
+                profile.absorb_shard(shard, counters)
             relation.extend(matches)
         return relation
+
+    def _estimate_block_rows(self, qgraph: QueryMultigraph) -> int | None:
+        """Sum of per-shard smallest-posting bounds.
+
+        Each shard estimates the block against its own attribute postings
+        (its share of a vertex's candidates); ownership partitions the
+        anchors, so the cluster-wide bound is the plain sum.
+        """
+        estimates = [engine._estimate_block_rows(qgraph) for engine in self.shards]
+        if any(estimate is None for estimate in estimates):
+            return None
+        return sum(estimates)
 
     # ------------------------------------------------------------------ #
     # worker pool plumbing
@@ -666,15 +709,31 @@ def _match_star_in_worker(
     star: StarQuery,
     remaining_seconds: float | None,
     restrict: dict[int, frozenset[int]] | None,
-) -> tuple[float, list[StarMatch]]:
+    profiled: bool = False,
+) -> tuple[float, list[StarMatch], dict[str, int] | None]:
     """Match one star on one shard inside a worker process.
 
-    Returns ``(seconds, matches)`` — the wall time is measured here because
-    the worker process cannot see the request thread's trace.
+    Returns ``(seconds, matches, counters)`` — the wall time and (when the
+    request is profiled) the shard's resource counters are measured here
+    because the worker process cannot see the request thread's trace or
+    profile; a plain counter dict survives the pickle back to the gather
+    loop, which absorbs it into the request profile.
     """
     deadline = Deadline(remaining_seconds)
     begin = perf_counter()
+    if profiled:
+        with start_profile() as sub:
+            matches = match_star(
+                _worker_engine(shard),
+                qgraph,
+                star,
+                _WORKER_STATE["owner"],
+                shard,
+                deadline,
+                restrict,
+            )
+        return perf_counter() - begin, matches, sub.counters
     matches = match_star(
         _worker_engine(shard), qgraph, star, _WORKER_STATE["owner"], shard, deadline, restrict
     )
-    return perf_counter() - begin, matches
+    return perf_counter() - begin, matches, None

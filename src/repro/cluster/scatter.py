@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from ..amber.engine import AmberEngine
 from ..multigraph.query_graph import QueryMultigraph
+from ..telemetry.accounting import current_profile
 from ..timing import Deadline
 
 __all__ = ["StarQuery", "StarMatch", "plan_stars", "match_star"]
@@ -123,11 +124,13 @@ def match_star(
     dropped eagerly instead of surviving until the join.
     """
     restrict = restrict or {}
+    profile = current_profile()
     # The shard engine's backend-built matcher: candidates come through the
     # MatchBackend protocol, so a vectorized shard serves its star anchors
     # and leaf sets from columnar posting arrays.
     matcher = engine.matcher
     candidates = matcher.initial_candidates(qgraph, star.root)
+    generated = len(candidates)
     refined = matcher.vertex_candidates(qgraph.vertices[star.root])
     if refined is not None:
         candidates &= refined
@@ -135,6 +138,10 @@ def match_star(
     if root_restrict is not None:
         candidates &= root_restrict
     anchored = sorted(c for c in candidates if owner.get(c) == shard)
+    if profile is not None:
+        profile.count("candidates.generated", generated)
+        profile.count("candidates.pruned", generated - len(candidates))
+        profile.count("cluster.star_anchors", len(anchored))
     if not anchored:
         return []
 
@@ -146,6 +153,13 @@ def match_star(
         )
         for leaf in star.leaves
     }
+    if profile is not None:
+        probes = sum(
+            len(qgraph.vertices[leaf].attributes) for leaf in star.leaves
+            if qgraph.vertices[leaf].attributes
+        )
+        if probes:
+            profile.count("index.attribute_probes", probes)
 
     matches: list[StarMatch] = []
     for anchor in anchored:
@@ -156,6 +170,8 @@ def match_star(
             found = matcher.neighbor_candidates(qgraph, star.root, anchor, leaf)
             attribute_candidates = leaf_attributes[leaf]
             if attribute_candidates is not None:
+                if profile is not None:
+                    profile.count("intersections")
                 found &= attribute_candidates
             leaf_restrict = restrict.get(leaf)
             if leaf_restrict is not None:
@@ -166,4 +182,6 @@ def match_star(
             leaf_sets.append(frozenset(found))
         if viable:
             matches.append(StarMatch(anchor=anchor, leaves=tuple(leaf_sets)))
+    if profile is not None:
+        profile.count("cluster.star_matches", len(matches))
     return matches

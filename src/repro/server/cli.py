@@ -125,6 +125,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "(default: %(default)s)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run every read under a per-query resource profile (candidate, "
+        "index-probe and intersection counters); profiles feed the "
+        "repro_query_*_total metric families and slow-query-log entries "
+        "(EXPLAIN ANALYZE always profiles its own request)",
+    )
+    parser.add_argument(
         "--slow-query-log",
         metavar="PATH",
         default=None,
@@ -182,6 +190,7 @@ def build_service(args: argparse.Namespace) -> EngineService:
         tracing=getattr(args, "tracing", "auto"),
         slow_query_log_path=getattr(args, "slow_query_log", None),
         slow_query_ms=getattr(args, "slow_query_ms", 500.0),
+        profiling=getattr(args, "profile", False),
     )
     return EngineService(engine, config)
 

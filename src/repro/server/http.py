@@ -20,6 +20,11 @@ engine's SELECT/UPDATE fragments:
 * ``?explain=1`` on ``/sparql`` — or a query prefixed with ``EXPLAIN`` —
   returns the annotated plan (stage timings, per-shard scatter timings,
   cardinalities, cache disposition) as JSON instead of the result rows;
+* ``?analyze=1`` — or an ``EXPLAIN ANALYZE`` query prefix — additionally
+  runs the query to completion under a per-query resource profile: every
+  plan operator reports estimated *and* actual row counts and the response
+  carries the candidate/probe/intersection counter breakdown (per shard on
+  a cluster engine);
 * ``GET /health`` is a trivial liveness probe.
 
 Requests run on a bounded worker pool (stdlib only); error mapping is
@@ -45,6 +50,7 @@ from .service import (
     ServiceConfig,
     ServiceOverloaded,
     ServiceReadOnly,
+    split_analyze,
     split_explain,
 )
 
@@ -150,12 +156,20 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(400, "BadParameter", str(exc))
             return
         explain_param = (params.get("explain") or [""])[0].lower() in ("1", "true", "yes", "on")
-        explain_prefix, _ = split_explain(query)
+        analyze_param = (params.get("analyze") or [""])[0].lower() in ("1", "true", "yes", "on")
+        explain_prefix, rest = split_explain(query)
+        analyze_prefix, _ = split_analyze(rest) if explain_prefix else (False, rest)
         service: EngineService = self.server.service
         try:
-            if explain_param or explain_prefix:
+            if explain_param or explain_prefix or analyze_param:
                 self._send_json(
-                    200, service.explain(query, timeout_seconds=timeout, max_rows=max_rows)
+                    200,
+                    service.explain(
+                        query,
+                        timeout_seconds=timeout,
+                        max_rows=max_rows,
+                        analyze=analyze_param or analyze_prefix,
+                    ),
                 )
                 return
             response = service.execute(query, timeout_seconds=timeout, max_rows=max_rows)

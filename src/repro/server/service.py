@@ -32,6 +32,7 @@ from ..errors import QueryTimeout, ReproError, UnsupportedQueryError
 from ..sparql.bindings import ResultSet
 from ..sparql.tokenizer import SparqlSyntaxError
 from ..sparql.update import LoadData, UpdateRequest, parse_update
+from ..telemetry.accounting import QueryProfile, start_profile
 from ..telemetry.slowlog import shard_breakdown, stage_breakdown
 from ..telemetry.trace import SpanRecord
 from .cache import LRUCache
@@ -48,6 +49,7 @@ __all__ = [
     "ScalarResponse",
     "UpdateResponse",
     "EngineService",
+    "split_analyze",
     "split_explain",
 ]
 
@@ -114,6 +116,12 @@ class ServiceConfig:
     slow_query_log_path: str | None = None
     #: Threshold, in milliseconds, above which a query is logged as slow.
     slow_query_ms: float = 500.0
+    #: Run every read under a per-query resource profile (candidate, index-
+    #: probe and intersection counters).  Profiles feed the aggregate
+    #: ``repro_query_*_total`` metric families and ride along on slow-query
+    #: log entries.  ``EXPLAIN ANALYZE`` profiles its own request regardless
+    #: of this flag.
+    profiling: bool = False
 
 
 def split_explain(query: str) -> tuple[bool, str]:
@@ -125,6 +133,20 @@ def split_explain(query: str) -> tuple[bool, str]:
     """
     stripped = query.lstrip()
     if stripped[:7].upper() == "EXPLAIN" and (len(stripped) == 7 or stripped[7].isspace()):
+        return True, stripped[7:].lstrip()
+    return False, query
+
+
+def split_analyze(query: str) -> tuple[bool, str]:
+    """Detect and strip a leading ``ANALYZE`` keyword (case-insensitive).
+
+    Applied after :func:`split_explain`, so the full ``EXPLAIN ANALYZE``
+    marker selects the analyze mode: the query runs to completion under a
+    resource profile and the plan reports actual next to estimated rows.
+    Returns ``(is_analyze, query_without_prefix)``.
+    """
+    stripped = query.lstrip()
+    if stripped[:7].upper() == "ANALYZE" and (len(stripped) == 7 or stripped[7].isspace()):
         return True, stripped[7:].lstrip()
     return False, query
 
@@ -346,17 +368,27 @@ class EngineService:
         query: str,
         timeout_seconds: float | None = None,
         max_rows: int | None = None,
+        analyze: bool = False,
     ) -> dict:
         """Execute a query with full tracing and return its annotated plan.
 
-        Accepts the query with or without a leading ``EXPLAIN`` marker.  The
-        result cache is bypassed (a cached answer has no stage timings to
-        report) and the span tree is always kept, regardless of the tracing
-        mode.  The response is JSON-ready: the plan outline, the span tree,
-        per-stage and per-shard breakdowns, row/variable counts and the
-        cache disposition — without the serialized result rows.
+        Accepts the query with or without a leading ``EXPLAIN`` marker (and
+        an ``ANALYZE`` keyword after it).  The result cache is bypassed (a
+        cached answer has no stage timings to report) and the span tree is
+        always kept, regardless of the tracing mode.  The response is
+        JSON-ready: the plan outline, the span tree, per-stage and per-shard
+        breakdowns, row/variable counts and the cache disposition — without
+        the serialized result rows.
+
+        With ``analyze`` (parameter or ``EXPLAIN ANALYZE`` prefix) the query
+        runs to completion under a per-query resource profile: every plan
+        operator reports ``actual_rows`` next to ``estimated_rows``, and the
+        response carries the full counter/per-shard ``profile``.
         """
         _, text = split_explain(query)
+        is_analyze, text = split_analyze(text)
+        analyze = analyze or is_analyze
+        kind = "analyze" if analyze else "explain"
         with self._lock:
             self._counters.received += 1
         try:
@@ -365,11 +397,38 @@ class EngineService:
         except ValueError:
             with self._lock:
                 self._counters.invalid_parameters += 1
-            self.telemetry.query_finished("explain", "invalid")
+            self.telemetry.query_finished(kind, "invalid")
             raise
 
         cache = self._cache_disposition(text)
         cache["result"] = "bypassed"
+
+        if analyze:
+            def run_analyze() -> dict:
+                return self.engine.execute(
+                    text, mode="analyze", timeout_seconds=effective_timeout
+                ).plan
+
+            payload, seconds, trace_root = self._run_read(
+                kind, text, run_analyze, force_tree=True, cache=cache, force_profile=True
+            )
+            if trace_root is not None:
+                seconds = trace_root.seconds
+            with self._rwlock.read_locked():
+                data_version = self.engine.data_version
+            return {
+                "query": text,
+                "analyze": True,
+                "seconds": round(seconds, 6),
+                "rows": payload["rows"],
+                "data_version": data_version,
+                "cache": cache,
+                "plan": payload["plan"],
+                "profile": payload["profile"],
+                "stages": stage_breakdown(trace_root),
+                "shards": shard_breakdown(trace_root),
+                "trace": trace_root.as_dict() if trace_root is not None else None,
+            }
 
         def run() -> ResultSet:
             return self.engine.execute(
@@ -393,6 +452,7 @@ class EngineService:
             data_version = self.engine.data_version
         return {
             "query": text,
+            "analyze": False,
             "seconds": round(seconds, 6),
             "rows": len(result),
             "variables": [variable.name for variable in result.variables],
@@ -411,13 +471,18 @@ class EngineService:
         runner: Callable,
         force_tree: bool = False,
         cache: dict | None = None,
+        force_profile: bool = False,
     ) -> tuple:
         """Admission, read lock, tracing and terminal accounting of one read.
 
         ``runner`` executes with the read lock held and an active trace (per
-        the telemetry policy).  Returns ``(value, seconds, trace_root)``;
-        every terminal outcome — including rejection — is reported to the
-        telemetry layer so ``/stats`` and ``/metrics`` totals agree.
+        the telemetry policy).  With ``config.profiling`` on — or
+        ``force_profile``, the ``EXPLAIN ANALYZE`` path — it also runs under
+        a per-query resource profile whose counters feed the aggregate
+        metric families and ride along on slow-log entries.  Returns
+        ``(value, seconds, trace_root)``; every terminal outcome — including
+        rejection — is reported to the telemetry layer so ``/stats`` and
+        ``/metrics`` totals agree.
         """
         try:
             self._admit()
@@ -426,19 +491,36 @@ class EngineService:
             raise
         if cache is None:
             cache = self._cache_disposition(query)
+        profile = QueryProfile() if (self.config.profiling or force_profile) else None
+
+        def profile_dict() -> dict | None:
+            return profile.as_dict() if profile is not None and profile.counters else None
+
         start = time.perf_counter()
         trace_root: SpanRecord | None = None
         try:
             with self.telemetry.query_trace(force_tree=force_tree) as trace:
                 with self._rwlock.read_locked():
-                    value = runner()
+                    if profile is not None:
+                        with start_profile(profile):
+                            value = runner()
+                    else:
+                        value = runner()
                 if trace is not None and trace.keep_tree:
                     trace_root = trace.root
         except QueryTimeout:
             with self._lock:
                 self._counters.timeouts += 1
+            if profile is not None and profile.counters:
+                self.telemetry.profile_recorded(profile.counters, self.engine.match_backend)
             self.telemetry.query_finished(
-                kind, "timeout", time.perf_counter() - start, query, trace_root, cache
+                kind,
+                "timeout",
+                time.perf_counter() - start,
+                query,
+                trace_root,
+                cache,
+                profile=profile_dict(),
             )
             raise
         except (SparqlSyntaxError, UnsupportedQueryError):
@@ -457,7 +539,11 @@ class EngineService:
         self.latency.record(seconds)
         with self._lock:
             self._counters.answered += 1
-        self.telemetry.query_finished(kind, "answered", seconds, query, trace_root, cache)
+        if profile is not None and profile.counters:
+            self.telemetry.profile_recorded(profile.counters, self.engine.match_backend)
+        self.telemetry.query_finished(
+            kind, "answered", seconds, query, trace_root, cache, profile=profile_dict()
+        )
         return value, seconds, trace_root
 
     def _cache_disposition(self, query: str) -> dict[str, str]:
@@ -694,6 +780,7 @@ class EngineService:
             "telemetry": {
                 "metrics_enabled": self.telemetry.enabled,
                 "tracing": self.telemetry.tracing,
+                "profiling": self.config.profiling,
                 "slow_query_log": (
                     str(self.telemetry.slow_log.path)
                     if self.telemetry.slow_log is not None

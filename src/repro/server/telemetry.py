@@ -30,6 +30,16 @@ The metric families:
                                       ``engine.match``, ``cluster.scatter`` …)
                                       and ``backend`` (the match backend on
                                       matching stages, else empty)
+``repro_query_candidates_total``      matcher candidates by ``backend`` and
+                                      ``stage`` (generated/pruned), from
+                                      per-query resource profiles
+``repro_query_intersections_total``   sorted-set/array intersections by
+                                      ``backend``
+``repro_query_index_probes_total``    index probes by ``backend`` and ``index``
+                                      (attribute/signature/neighborhood)
+``repro_query_operator_rows_total``   rows produced by plan operators, by
+                                      ``backend``
+``repro_query_solutions_total``       matcher-emitted embeddings by ``backend``
 ``repro_scatter_shard_seconds``       per-shard star-matching time by ``shard``
 ``repro_rwlock_wait_seconds``         reader/writer lock wait by ``side``
 ``repro_cache_requests_total``        plan/result cache lookups by ``cache``
@@ -108,6 +118,32 @@ class ServiceTelemetry:
             "Per-shard star-matching time in seconds during cluster scatter.",
             labelnames=("shard",),
         )
+        self.query_candidates_total = reg.counter(
+            "repro_query_candidates_total",
+            "Matcher candidates by backend and stage (generated/pruned), "
+            "accumulated from per-query resource profiles.",
+            labelnames=("backend", "stage"),
+        )
+        self.query_intersections_total = reg.counter(
+            "repro_query_intersections_total",
+            "Sorted-set/posting-array intersections run by the matcher, by backend.",
+            labelnames=("backend",),
+        )
+        self.query_index_probes_total = reg.counter(
+            "repro_query_index_probes_total",
+            "Index probes by backend and index (attribute/signature/neighborhood).",
+            labelnames=("backend", "index"),
+        )
+        self.query_operator_rows_total = reg.counter(
+            "repro_query_operator_rows_total",
+            "Rows produced by algebra plan operators, by backend.",
+            labelnames=("backend",),
+        )
+        self.query_solutions_total = reg.counter(
+            "repro_query_solutions_total",
+            "Embeddings emitted by the matching core, by backend.",
+            labelnames=("backend",),
+        )
         self.rwlock_wait_seconds = reg.histogram(
             "repro_rwlock_wait_seconds",
             "Time spent waiting for the engine reader-writer lock, by side.",
@@ -181,6 +217,34 @@ class ServiceTelemetry:
     # ------------------------------------------------------------------ #
     # request accounting
     # ------------------------------------------------------------------ #
+    def profile_recorded(self, counters: dict, backend: str) -> None:
+        """Fold one finished query profile into the aggregate counter families.
+
+        ``counters`` is a :class:`~repro.telemetry.QueryProfile` counter dict
+        (dotted names); ``backend`` labels every sample with the match
+        backend that produced it.  Unknown counter names are ignored — they
+        still appear verbatim in EXPLAIN ANALYZE responses and slow-log
+        entries, only the Prometheus aggregation is selective.
+        """
+        if not self.enabled or not counters:
+            return
+        for name, value in counters.items():
+            if not value:
+                continue
+            if name == "candidates.generated":
+                self.query_candidates_total.inc(value, backend=backend, stage="generated")
+            elif name == "candidates.pruned":
+                self.query_candidates_total.inc(value, backend=backend, stage="pruned")
+            elif name == "intersections":
+                self.query_intersections_total.inc(value, backend=backend)
+            elif name.startswith("index.") and name.endswith("_probes"):
+                index = name[len("index.") : -len("_probes")]
+                self.query_index_probes_total.inc(value, backend=backend, index=index)
+            elif name.startswith("op.") and name.endswith(".rows"):
+                self.query_operator_rows_total.inc(value, backend=backend)
+            elif name == "solutions.emitted":
+                self.query_solutions_total.inc(value, backend=backend)
+
     def query_finished(
         self,
         kind: str,
@@ -189,6 +253,7 @@ class ServiceTelemetry:
         query: str | None = None,
         trace_root: SpanRecord | None = None,
         cache: dict | None = None,
+        profile: dict | None = None,
     ) -> None:
         """Record one terminal read request (all statuses, incl. rejections).
 
@@ -210,8 +275,15 @@ class ServiceTelemetry:
         ):
             if self.enabled:
                 self.slow_queries_total.inc()
+            extra = {"profile": profile} if profile else {}
             self.slow_log.log(
-                query, seconds, kind=kind, status=status, trace_root=trace_root, cache=cache
+                query,
+                seconds,
+                kind=kind,
+                status=status,
+                trace_root=trace_root,
+                cache=cache,
+                **extra,
             )
 
     def update_finished(self, status: str, seconds: float | None = None) -> None:

@@ -41,6 +41,7 @@ from .algebra import (
 )
 from .bindings import Binding
 from .expressions import And, Expression, expression_variables, filter_passes
+from ..telemetry.accounting import QueryProfile, current_profile
 from ..telemetry.trace import current_trace, timed_iter
 from ..timing import Deadline
 
@@ -55,6 +56,7 @@ __all__ = [
     "UnionNode",
     "compile_pattern",
     "evaluate_plan",
+    "iter_plan_nodes",
     "plan_outline",
     "stream_plan",
 ]
@@ -77,6 +79,7 @@ class BGPNode:
     patterns: list[TriplePattern]
     filters: list[Expression] = field(default_factory=list)
     index: int = -1
+    node_id: int = -1
 
     def variables(self) -> set[Variable]:
         found: set[Variable] = set()
@@ -91,6 +94,7 @@ class JoinNode:
 
     left: "PlanNode"
     right: "PlanNode"
+    node_id: int = -1
 
 
 @dataclass
@@ -98,6 +102,7 @@ class UnionNode:
     """Multiset union of the branch solutions."""
 
     branches: list["PlanNode"]
+    node_id: int = -1
 
 
 @dataclass
@@ -107,6 +112,7 @@ class LeftJoinNode:
     left: "PlanNode"
     right: "PlanNode"
     condition: Expression | None = None
+    node_id: int = -1
 
 
 @dataclass
@@ -115,11 +121,14 @@ class FilterNode:
 
     child: "PlanNode"
     conditions: list[Expression]
+    node_id: int = -1
 
 
 @dataclass
 class EmptyNode:
     """The empty group: the join identity — exactly one empty binding."""
+
+    node_id: int = -1
 
 
 PlanNode = Union[BGPNode, JoinNode, UnionNode, LeftJoinNode, FilterNode, EmptyNode]
@@ -137,12 +146,33 @@ class CompiledPattern:
 # compilation (SPARQL 18.2.2: translate graph patterns)
 # --------------------------------------------------------------------------- #
 def compile_pattern(group: GroupGraphPattern) -> CompiledPattern:
-    """Translate a group tree into a plan with indexed BGP blocks."""
+    """Translate a group tree into a plan with indexed BGP blocks.
+
+    Every node gets a preorder ``node_id`` identifying the operator inside
+    its plan; ``EXPLAIN ANALYZE`` joins runtime row counts (charged by
+    :func:`stream_plan` under ``op.<node_id>.rows``) back onto the outline
+    through it.
+    """
     blocks: list[BGPNode] = []
     root = _compile_group(group, blocks)
     for index, block in enumerate(blocks):
         block.index = index
+    for node_id, node in enumerate(iter_plan_nodes(root)):
+        node.node_id = node_id
     return CompiledPattern(root, blocks)
+
+
+def iter_plan_nodes(node: PlanNode) -> Iterator[PlanNode]:
+    """Preorder iteration over a plan tree (the ``node_id`` assignment order)."""
+    yield node
+    if isinstance(node, (JoinNode, LeftJoinNode)):
+        yield from iter_plan_nodes(node.left)
+        yield from iter_plan_nodes(node.right)
+    elif isinstance(node, UnionNode):
+        for branch in node.branches:
+            yield from iter_plan_nodes(branch)
+    elif isinstance(node, FilterNode):
+        yield from iter_plan_nodes(node.child)
 
 
 def _compile_group(group: GroupGraphPattern, blocks: list[BGPNode]) -> PlanNode:
@@ -256,12 +286,39 @@ def stream_plan(node: PlanNode, solver: BGPSolver, deadline: Deadline) -> Iterat
     When the request is traced, every operator's stream is wrapped in
     :func:`~repro.telemetry.trace.timed_iter`, charging each operator the
     time spent inside its ``next()`` (inclusive of its children) and the
-    number of rows it produced.
+    number of rows it produced.  When a query profile is active, every
+    operator additionally charges its produced rows to the
+    ``op.<node_id>.rows`` counter, which ``EXPLAIN ANALYZE`` joins back
+    onto the plan outline as ``actual_rows``.
     """
+    stream = _stream_node(node, solver, deadline)
+    profile = current_profile()
+    if profile is not None:
+        stream = _counted_stream(node.node_id, stream, profile)
     if current_trace() is None or isinstance(node, EmptyNode):
-        return _stream_node(node, solver, deadline)
+        return stream
     name, attributes = _operator_label(node)
-    return timed_iter(name, _stream_node(node, solver, deadline), **attributes)
+    return timed_iter(name, stream, **attributes)
+
+
+def _counted_stream(
+    node_id: int, stream: Iterator[Binding], profile: QueryProfile
+) -> Iterator[Binding]:
+    """Re-yield ``stream``, charging produced rows to one plan operator.
+
+    The total is written once, in the ``finally`` — an abandoned iterator
+    (``ask()``, a row cap) still records what it produced, and the per-row
+    cost is a single integer increment.
+    """
+    produced = 0
+    try:
+        for row in stream:
+            produced += 1
+            yield row
+    finally:
+        counters = profile.counters
+        name = f"op.{node_id}.rows"
+        counters[name] = counters.get(name, 0) + produced
 
 
 def _operator_label(node: PlanNode) -> tuple[str, dict]:
@@ -300,41 +357,110 @@ def _stream_node(node: PlanNode, solver: BGPSolver, deadline: Deadline) -> Itera
         raise TypeError(f"unknown plan node {type(node).__name__}")
 
 
-def plan_outline(node: PlanNode) -> dict:
+#: Estimates one BGP block's result cardinality (None when unknown).
+RowEstimator = Callable[["BGPNode"], "int | None"]
+
+
+def plan_outline(
+    node: PlanNode,
+    estimator: RowEstimator | None = None,
+    actuals: "dict[int, int] | None" = None,
+) -> dict:
     """A JSON-ready descriptor of a plan tree (the ``EXPLAIN`` plan section).
 
     Mirrors the operator structure that :func:`stream_plan` executes; the
     ``block`` indexes match the ``block`` attribute of ``algebra.bgp``
-    spans, so timings can be joined back onto the plan.
+    spans and the ``id`` fields match the ``op.<id>.rows`` profile
+    counters, so timings and row counts can be joined back onto the plan.
+
+    ``estimator`` (an engine hook — AMbER's smallest-posting bound) adds
+    ``estimated_rows`` per BGP leaf; interior operators derive theirs
+    structurally: union sums its branches, filter and leftjoin pass their
+    required side through, a join takes the max of its sides when they
+    share a certainly-bound variable and the product otherwise.
+    ``actuals`` (node id -> rows measured by :func:`stream_plan`) adds
+    ``actual_rows``.  Both annotations are backend-independent: the same
+    query compiles to the same tree shape whichever matcher executes it.
     """
+    outline = _outline_node(node, estimator, actuals)
+    return outline
+
+
+def _outline_node(
+    node: PlanNode, estimator: RowEstimator | None, actuals: "dict[int, int] | None"
+) -> dict:
     if isinstance(node, BGPNode):
-        return {
+        out = {
             "op": "bgp",
+            "id": node.node_id,
             "block": node.index,
             "patterns": len(node.patterns),
             "pushed_filters": len(node.filters),
             "variables": sorted(v.name for v in node.variables()),
         }
-    if isinstance(node, EmptyNode):
-        return {"op": "empty"}
-    if isinstance(node, UnionNode):
-        return {"op": "union", "branches": [plan_outline(branch) for branch in node.branches]}
-    if isinstance(node, FilterNode):
-        return {
+    elif isinstance(node, EmptyNode):
+        out = {"op": "empty", "id": node.node_id}
+    elif isinstance(node, UnionNode):
+        out = {
+            "op": "union",
+            "id": node.node_id,
+            "branches": [_outline_node(branch, estimator, actuals) for branch in node.branches],
+        }
+    elif isinstance(node, FilterNode):
+        out = {
             "op": "filter",
+            "id": node.node_id,
             "conditions": len(node.conditions),
-            "child": plan_outline(node.child),
+            "child": _outline_node(node.child, estimator, actuals),
         }
-    if isinstance(node, JoinNode):
-        return {"op": "join", "left": plan_outline(node.left), "right": plan_outline(node.right)}
-    if isinstance(node, LeftJoinNode):
-        return {
+    elif isinstance(node, JoinNode):
+        out = {
+            "op": "join",
+            "id": node.node_id,
+            "left": _outline_node(node.left, estimator, actuals),
+            "right": _outline_node(node.right, estimator, actuals),
+        }
+    elif isinstance(node, LeftJoinNode):
+        out = {
             "op": "leftjoin",
+            "id": node.node_id,
             "condition": node.condition is not None,
-            "left": plan_outline(node.left),
-            "right": plan_outline(node.right),
+            "left": _outline_node(node.left, estimator, actuals),
+            "right": _outline_node(node.right, estimator, actuals),
         }
-    raise TypeError(f"unknown plan node {type(node).__name__}")  # pragma: no cover
+    else:  # pragma: no cover - compile produces no other node kinds
+        raise TypeError(f"unknown plan node {type(node).__name__}")
+    if estimator is not None:
+        estimated = _estimate_rows(node, out, estimator)
+        if estimated is not None:
+            out["estimated_rows"] = estimated
+    if actuals is not None:
+        out["actual_rows"] = actuals.get(node.node_id, 0)
+    return out
+
+
+def _estimate_rows(node: PlanNode, out: dict, estimator: RowEstimator) -> int | None:
+    """Derive one operator's row estimate from its leaves (see plan_outline)."""
+    if isinstance(node, BGPNode):
+        return estimator(node)
+    if isinstance(node, EmptyNode):
+        return 1
+    if isinstance(node, UnionNode):
+        parts = [branch.get("estimated_rows") for branch in out["branches"]]
+        if any(part is None for part in parts):
+            return None
+        return sum(parts)
+    if isinstance(node, FilterNode):
+        return out["child"].get("estimated_rows")
+    if isinstance(node, LeftJoinNode):
+        return out["left"].get("estimated_rows")
+    left = out["left"].get("estimated_rows")
+    right = out["right"].get("estimated_rows")
+    if left is None or right is None:
+        return None
+    if certain_variables(node.left) & certain_variables(node.right):
+        return max(left, right)
+    return left * right
 
 
 def certain_variables(node: PlanNode) -> set[Variable]:

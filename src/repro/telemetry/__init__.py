@@ -12,8 +12,21 @@ The subsystem is dependency-free and engine-agnostic:
 The server layer (:mod:`repro.server`) wires all three together: spans feed
 stage histograms through a sink, ``GET /metrics`` scrapes the registry, and
 ``EXPLAIN`` / the slow-query log serialize the span tree.
+
+:mod:`repro.telemetry.accounting` adds per-query resource counters
+(candidates, intersections, index probes, per-operator rows) behind the
+same thread-local no-op pattern; ``EXPLAIN ANALYZE`` and the aggregate
+``repro_query_*_total`` metric families are built on it.
 """
 
+from .accounting import (
+    QueryProfile,
+    count,
+    count_rows,
+    current_profile,
+    merge_counters,
+    start_profile,
+)
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -39,6 +52,12 @@ from .trace import (
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "QueryProfile",
+    "count",
+    "count_rows",
+    "current_profile",
+    "merge_counters",
+    "start_profile",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,171 @@
+"""Per-query resource accounting: named counters scoped to one request.
+
+Spans (:mod:`repro.telemetry.trace`) answer *where time went*; this module
+answers *why* — how many candidates the matcher generated and pruned, how
+many sorted-array intersections ran, how many index probes were issued,
+how many rows each plan operator produced.  One :class:`QueryProfile`
+covers one query.  The service (or ``EXPLAIN ANALYZE``) activates it on
+the request thread; instrumentation points anywhere below call the
+module-level :func:`count` / :func:`count_rows` helpers, which look the
+active profile up in a thread local:
+
+* **no active profile** — the helpers return immediately after one
+  ``getattr`` on a thread local: no allocation, no dict write, so
+  permanently-instrumented hot paths keep their disabled cost within the
+  telemetry overhead budget;
+* **active profile** — counters accumulate into a plain ``dict``; the
+  keys are dotted names (``candidates.generated``, ``intersections``,
+  ``op.3.rows``) grouped by :func:`QueryProfile.counter_groups`.
+
+Worker-pool threads and processes do not inherit the thread local.  The
+cluster scatter stage runs each shard's matching under its *own* profile
+(:func:`start_profile`), ships the counter dict back with the worker
+result (plain dicts pickle across process executors), and the gather loop
+merges it into the request profile via :func:`QueryProfile.absorb_shard`
+— so per-shard sub-profiles survive process pools and the request profile
+is always the exact sum of its shards for shard-origin counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+__all__ = [
+    "QueryProfile",
+    "count",
+    "count_rows",
+    "current_profile",
+    "merge_counters",
+    "start_profile",
+]
+
+_LOCAL = threading.local()
+
+#: Prefix used for per-plan-operator row counters (``op.<node_id>.rows``).
+OP_PREFIX = "op."
+
+
+class QueryProfile:
+    """Named counters for one query, plus per-shard sub-profiles.
+
+    ``counters`` maps dotted counter names to integer totals.  ``shards``
+    maps a shard id to that shard's own counter dict; :meth:`absorb_shard`
+    keeps the invariant that for every counter appearing in any shard,
+    ``counters[name] == sum(shard[name] for shard in shards.values())``.
+    """
+
+    __slots__ = ("counters", "shards")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.shards: dict[int, dict[str, int]] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def absorb_shard(self, shard: int, counters: Mapping[str, int]) -> None:
+        """Merge one shard's counter dict, remembering it as a sub-profile.
+
+        A shard matched more than once (the scatter loop re-visits shards
+        per star) accumulates into the same sub-profile.
+        """
+        if not counters:
+            return
+        sub = self.shards.setdefault(shard, {})
+        for name, amount in counters.items():
+            sub[name] = sub.get(name, 0) + amount
+        merge_counters(self.counters, counters)
+
+    def operator_rows(self) -> dict[int, int]:
+        """Map plan-node id -> rows produced, from ``op.<id>.rows`` counters."""
+        rows: dict[int, int] = {}
+        for name, value in self.counters.items():
+            if name.startswith(OP_PREFIX) and name.endswith(".rows"):
+                middle = name[len(OP_PREFIX) : -len(".rows")]
+                try:
+                    rows[int(middle)] = value
+                except ValueError:
+                    continue
+        return rows
+
+    def counter_groups(self) -> dict[str, dict[str, int]]:
+        """Counters grouped by their first dotted component (for display).
+
+        Per-operator counters collapse under ``"operators"`` keyed by the
+        full name; single-word counters land under ``"other"``.
+        """
+        groups: dict[str, dict[str, int]] = {}
+        for name, value in sorted(self.counters.items()):
+            if name.startswith(OP_PREFIX):
+                groups.setdefault("operators", {})[name] = value
+                continue
+            head, _, tail = name.partition(".")
+            if tail:
+                groups.setdefault(head, {})[tail] = value
+            else:
+                groups.setdefault("other", {})[name] = value
+        return groups
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (used by ``EXPLAIN ANALYZE`` and the slow log)."""
+        out: dict = {"counters": dict(sorted(self.counters.items()))}
+        if self.shards:
+            out["shards"] = {
+                str(shard): dict(sorted(counters.items()))
+                for shard, counters in sorted(self.shards.items())
+            }
+        return out
+
+    def __repr__(self) -> str:
+        return f"QueryProfile({len(self.counters)} counters, {len(self.shards)} shards)"
+
+
+def merge_counters(into: dict[str, int], source: Mapping[str, int]) -> dict[str, int]:
+    """Add every counter in ``source`` into ``into`` and return ``into``."""
+    for name, amount in source.items():
+        into[name] = into.get(name, 0) + amount
+    return into
+
+
+def current_profile() -> QueryProfile | None:
+    """Return the profile active on this thread, or None."""
+    return getattr(_LOCAL, "profile", None)
+
+
+@contextmanager
+def start_profile(profile: QueryProfile | None = None) -> Iterator[QueryProfile]:
+    """Activate a profile on this thread for the duration of the block.
+
+    A previously active profile is restored on exit, so profiles may nest
+    (the cluster worker's shard profile shadows any request profile for
+    the duration of the shard's matching).
+    """
+    if profile is None:
+        profile = QueryProfile()
+    previous = getattr(_LOCAL, "profile", None)
+    _LOCAL.profile = profile
+    try:
+        yield profile
+    finally:
+        _LOCAL.profile = previous
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Add to a counter on the active profile (no-op without one)."""
+    profile = getattr(_LOCAL, "profile", None)
+    if profile is not None:
+        counters = profile.counters
+        counters[name] = counters.get(name, 0) + amount
+
+
+def count_rows(node_id: int, amount: int = 1) -> None:
+    """Charge rows to plan operator ``node_id`` (no-op without a profile)."""
+    profile = getattr(_LOCAL, "profile", None)
+    if profile is not None:
+        counters = profile.counters
+        name = f"op.{node_id}.rows"
+        counters[name] = counters.get(name, 0) + amount

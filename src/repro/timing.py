@@ -6,7 +6,13 @@ import time
 
 from .errors import QueryTimeout
 
-__all__ = ["Deadline"]
+__all__ = ["Deadline", "monotonic"]
+
+#: The one sanctioned monotonic clock for engine code.  Hot paths in
+#: ``amber/`` and ``sparql/`` must not read ``time.time()`` or
+#: ``perf_counter`` directly (CI greps for it); they go through this
+#: alias or the tracer so clock policy stays in one place.
+monotonic = time.perf_counter
 
 
 class Deadline:

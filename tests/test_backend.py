@@ -178,7 +178,7 @@ class TestBackendParity:
 
 class TestExecuteOutcome:
     def test_modes_are_documented(self):
-        assert EXECUTE_MODES == ("select", "count", "ask", "explain")
+        assert EXECUTE_MODES == ("select", "count", "ask", "explain", "analyze")
 
     def test_execute_dispatches_every_mode(self, paper_engine, prefixes):
         query = f"{prefixes}SELECT ?p WHERE {{ ?p y:wasBornIn x:London . }}"

@@ -52,6 +52,18 @@ class TestCliService:
         assert args.port == 8080
         assert args.plan_cache == 256
         assert args.result_cache == 0
+        assert args.profile is False
+
+    def test_profile_flag_enables_per_query_accounting(self, paper_engine, tmp_path):
+        path = tmp_path / "paper.amber.json"
+        save_engine(paper_engine, path)
+        args = build_arg_parser().parse_args([str(path), "--profile", "--quiet"])
+        service = build_service(args)
+        try:
+            assert service.config.profiling is True
+            assert service.stats()["telemetry"]["profiling"] is True
+        finally:
+            service.close()
 
     def test_round_trip_save_load_serve_query(self, paper_engine, tmp_path):
         """The acceptance path: persist, reload via the CLI, serve, compare."""

@@ -310,3 +310,101 @@ class TestSlowQueryLog:
             assert service.stats()["telemetry"]["slow_queries"] == 2
         finally:
             service.close()
+
+
+class TestResourceAccounting:
+    """The per-query profile surface: metric families, ANALYZE, slow log."""
+
+    def test_profile_families_feed_from_profiled_reads(self, paper_store):
+        service = make_service(paper_store, profiling=True)
+        try:
+            service.execute(QUERY)
+            service.explain(COMPLEX_QUERY, analyze=True)
+            text = service.prometheus()
+            validate_exposition(text)
+            families = parse_exposition(text)
+            backend = service.engine.match_backend
+            assert counter_total(
+                families, "repro_query_candidates_total", backend=backend, stage="generated"
+            ) > 0
+            assert counter_total(families, "repro_query_solutions_total", backend=backend) > 0
+            assert counter_total(families, "repro_query_operator_rows_total", backend=backend) > 0
+            assert counter_total(families, "repro_query_index_probes_total", backend=backend) > 0
+        finally:
+            service.close()
+
+    def test_profile_families_round_trip_through_parser(self, paper_store):
+        """Every new family survives an expose -> parse -> validate cycle."""
+        service = make_service(paper_store, profiling=True)
+        try:
+            service.execute(QUERY)
+            text = service.prometheus()
+            validate_exposition(text)
+            families = parse_exposition(text)
+            for family in (
+                "repro_query_candidates_total",
+                "repro_query_intersections_total",
+                "repro_query_index_probes_total",
+                "repro_query_operator_rows_total",
+                "repro_query_solutions_total",
+            ):
+                assert family in families, f"missing metric family {family}"
+                assert families[family]["type"] == "counter"
+        finally:
+            service.close()
+
+    def test_profiling_is_off_by_default(self, service):
+        service.execute(QUERY)
+        families = scrape(service)
+        assert counter_total(families, "repro_query_candidates_total") == 0
+        assert service.stats()["telemetry"]["profiling"] is False
+
+    def test_service_explain_analyze_response(self, service):
+        response = service.explain(QUERY, analyze=True)
+        assert response["analyze"] is True
+        assert response["rows"] == len(service.engine.query(QUERY))
+        assert response["plan"]["actual_rows"] == response["rows"]
+        assert response["plan"]["estimated_rows"] >= 1
+        assert response["profile"]["counters"]
+        json.dumps(response)  # JSON-ready end to end
+
+    def test_plain_explain_reports_analyze_false(self, service):
+        response = service.explain(QUERY)
+        assert response["analyze"] is False
+        assert "profile" not in response
+
+    def test_http_analyze_param(self, server):
+        status, _, body = get(server, "/sparql", query=QUERY, analyze="1")
+        assert status == 200
+        document = json.loads(body)
+        assert document["analyze"] is True
+        assert document["plan"]["actual_rows"] == document["rows"]
+
+    def test_http_explain_analyze_prefix(self, server):
+        status, _, body = get(server, "/sparql", query="EXPLAIN ANALYZE " + QUERY)
+        assert status == 200
+        document = json.loads(body)
+        assert document["analyze"] is True
+        assert "actual_rows" in document["plan"]
+
+    def test_slow_log_carries_profile_when_profiling(self, paper_store, tmp_path):
+        log_path = tmp_path / "slow.jsonl"
+        service = make_service(
+            paper_store, profiling=True, slow_query_log_path=str(log_path), slow_query_ms=0.0
+        )
+        try:
+            service.execute(QUERY)
+        finally:
+            service.close()
+        entry = json.loads(log_path.read_text().splitlines()[0])
+        assert entry["profile"]["counters"]["candidates.generated"] > 0
+
+    def test_slow_log_has_no_profile_without_profiling(self, paper_store, tmp_path):
+        log_path = tmp_path / "slow.jsonl"
+        service = make_service(paper_store, slow_query_log_path=str(log_path), slow_query_ms=0.0)
+        try:
+            service.execute(QUERY)
+        finally:
+            service.close()
+        entry = json.loads(log_path.read_text().splitlines()[0])
+        assert "profile" not in entry
