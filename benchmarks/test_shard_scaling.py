@@ -25,7 +25,7 @@ def scaling_results(bench_scale):
     return shard_scaling_experiment(scale=bench_scale, shard_counts=SHARD_COUNTS, query_size=50)
 
 
-def test_shard_scaling_complex50(benchmark, scaling_results, record_result):
+def test_shard_scaling_complex50(benchmark, scaling_results, record_result, record_json):
     """Record the scaling summary and check robustness parity per shard count."""
 
     results = benchmark.pedantic(lambda: scaling_results, rounds=1, iterations=1)
@@ -34,6 +34,27 @@ def test_shard_scaling_complex50(benchmark, scaling_results, record_result):
         format_workload_summary(
             results, "Shard scaling — complex queries, 50 triple patterns, DBpedia-like"
         ),
+    )
+    record_json(
+        "BENCH_shard_scaling.json",
+        {
+            "benchmark": "shard_scaling_complex50",
+            "workload": "DBpedia-like complex, 50 triple patterns",
+            "engines": {
+                name: {
+                    "queries": len(result.outcomes),
+                    "answered": len(result.answered),
+                    "unanswered_percentage": result.unanswered_percentage,
+                    "average_seconds": (
+                        round(result.average_seconds, 4)
+                        if result.average_seconds is not None
+                        else None
+                    ),
+                    "total_rows": result.total_rows,
+                }
+                for name, result in results.items()
+            },
+        },
     )
 
     amber = results["AMbER"]

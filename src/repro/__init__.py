@@ -32,7 +32,7 @@ from .sparql.bindings import Binding, ResultSet
 from .sparql.parser import parse_sparql
 from .sparql.update import UpdateRequest, parse_update
 
-__version__ = "1.4.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AmberEngine",

@@ -28,6 +28,7 @@ from ..sparql.algebra import GroupGraphPattern, SelectQuery
 from ..sparql.bindings import Binding, ResultSet
 from ..sparql.eval import BGPNode, compile_pattern, plan_outline, stream_plan
 from ..sparql.parser import parse_sparql
+from ..sparql.planner import QueryPlanner
 from ..sparql.update import UpdateRequest, parse_update
 from ..telemetry.accounting import QueryProfile, current_profile, start_profile
 from ..telemetry.trace import span
@@ -93,14 +94,32 @@ class AlgebraPlan:
     so the plan cache invalidation on mutation covers it too.
     """
 
-    __slots__ = ("root", "blocks", "block_queries", "block_graphs")
+    __slots__ = ("root", "blocks", "block_queries", "block_graphs", "decisions")
 
-    def __init__(self, where: GroupGraphPattern, data) -> None:
+    def __init__(
+        self,
+        where: GroupGraphPattern,
+        data,
+        planner: QueryPlanner | None = None,
+        block_rows=None,
+        data_version: int = 0,
+    ) -> None:
         compiled = compile_pattern(where)
         self.root = compiled.root
         self.blocks = compiled.blocks
         self.block_queries = [SelectQuery(patterns=block.patterns) for block in self.blocks]
         self.block_graphs = [build_query_multigraph(query, data) for query in self.block_queries]
+        #: The planner's :class:`~repro.sparql.planner.PlanDecisions`, or
+        #: None when no planner ran (baselines, planner disabled).
+        self.decisions = None
+        if planner is not None and planner.enabled:
+
+            def estimate(block: BGPNode) -> int | None:
+                if block_rows is None:
+                    return None
+                return block_rows(self.block_graphs[block.index])
+
+            self.root, self.decisions = planner.plan(compiled.root, estimate, data_version)
 
     def block_plan(self, block: BGPNode) -> tuple[SelectQuery, QueryMultigraph]:
         """Return the prepared (query, multigraph) pair of one BGP block."""
@@ -179,6 +198,11 @@ class QueryEngineBase:
     #: outlines.  Engines with a pluggable core override this.
     match_backend = "scalar"
 
+    #: The cost-based planner rewriting algebra plans at prepare time
+    #: (None on engines without an estimator — baselines keep syntactic
+    #: order and left-build joins).  Instances are installed per engine.
+    planner: QueryPlanner | None = None
+
     data: object
     config: MatcherConfig
     plan_cache: PlanCache | None
@@ -214,7 +238,13 @@ class QueryEngineBase:
     def _prepare_parsed(self, parsed: SelectQuery) -> QueryMultigraph | AlgebraPlan:
         with span("sparql.prepare") as sp:
             if parsed.where is not None:
-                plan = AlgebraPlan(parsed.where, self.data)
+                plan = AlgebraPlan(
+                    parsed.where,
+                    self.data,
+                    planner=self.planner,
+                    block_rows=self._estimate_block_rows,
+                    data_version=self.data_version,
+                )
                 sp.annotate(kind="algebra", blocks=len(plan.blocks))
                 return plan
             qgraph = build_query_multigraph(parsed, self.data)
@@ -400,6 +430,7 @@ class QueryEngineBase:
                 rows = counting(self._solutions(parsed, plan, timeout_seconds, None))
                 result = ResultSet.for_query(parsed, rows)
                 sp.annotate(rows=len(result))
+        self._record_estimate_feedback(plan, profile, streamed)
         outline = self._annotated_outline(plan, profile, streamed)
         outline["match_backend"] = self.match_backend
         return {
@@ -424,12 +455,25 @@ class QueryEngineBase:
         actual rows are the rows the matcher streamed.
         """
         if isinstance(plan, AlgebraPlan):
+            decisions = plan.decisions
 
             def estimator(block: BGPNode) -> int | None:
-                return self._estimate_block_rows(plan.block_graphs[block.index])
+                raw = self._estimate_block_rows(plan.block_graphs[block.index])
+                if self.planner is not None and decisions is not None:
+                    return self.planner.corrected(decisions.shape, block.index, raw)
+                return raw
 
             actuals = profile.operator_rows() if profile is not None else None
-            return plan_outline(plan.root, estimator, actuals)
+            outline = plan_outline(plan.root, estimator, actuals)
+            extras = {
+                block.index: self._bgp_outline_extras(graph)
+                for block, graph in zip(plan.blocks, plan.block_graphs)
+            }
+            if any(extra for extra in extras.values()):
+                _attach_block_extras(outline, extras)
+            if decisions is not None:
+                outline["planner"] = decisions.as_dict()
+            return outline
         outline = {
             "op": "bgp",
             "id": 0,
@@ -438,10 +482,61 @@ class QueryEngineBase:
         }
         estimated = self._estimate_block_rows(plan)
         if estimated is not None:
+            if self.planner is not None:
+                estimated = self.planner.corrected(_bgp_shape(plan), 0, estimated)
             outline["estimated_rows"] = estimated
+        extra = self._bgp_outline_extras(plan)
+        if extra:
+            outline.update(extra)
         if profile is not None:
             outline["actual_rows"] = streamed_rows if streamed_rows is not None else 0
         return outline
+
+    def _record_estimate_feedback(
+        self, plan, profile: QueryProfile, streamed_rows: int | None = None
+    ) -> None:
+        """Feed measured block cardinalities back into the planner.
+
+        Raw (uncorrected) estimates pair with the ``op.<id>.rows`` actuals
+        so the learned factors converge instead of compounding; the next
+        plan of the same query shape sees the corrected numbers.  A
+        plain-BGP plan has no operator tree: the whole pattern is one
+        block whose actual is the matcher's streamed row count, keyed by
+        its own syntactic shape.
+        """
+        planner = self.planner
+        if planner is None:
+            return
+        if not isinstance(plan, AlgebraPlan):
+            if streamed_rows is None:
+                return
+            raw = self._estimate_block_rows(plan)
+            if raw is not None:
+                planner.observe(_bgp_shape(plan), {0: (raw, streamed_rows)})
+            return
+        decisions = plan.decisions
+        if decisions is None:
+            return
+        actuals = profile.operator_rows()
+        feedback: dict[int, tuple[int, int]] = {}
+        for block in plan.blocks:
+            actual = actuals.get(block.node_id)
+            if actual is None:
+                continue
+            raw = self._estimate_block_rows(plan.block_graphs[block.index])
+            if raw is None:
+                continue
+            feedback[block.index] = (raw, actual)
+        if feedback:
+            planner.observe(decisions.shape, feedback)
+
+    def _bgp_outline_extras(self, qgraph: QueryMultigraph) -> dict | None:
+        """Engine-specific EXPLAIN annotations for one BGP (subclass hook).
+
+        The cluster engine reports its scatter plan here — star order,
+        per-star anchor estimates and the frontier-pushdown decision.
+        """
+        return None
 
     def _estimate_block_rows(self, qgraph: QueryMultigraph) -> int | None:
         """Estimated result cardinality of one BGP block (subclass hook).
@@ -626,6 +721,27 @@ class QueryEngineBase:
         return collected
 
 
+def _bgp_shape(qgraph: QueryMultigraph) -> str:
+    """Feedback key of a plain-BGP plan: the query's syntactic pattern list."""
+    return f"bgp:{qgraph.query.patterns}"
+
+
+def _attach_block_extras(outline: dict, extras: dict[int, dict | None]) -> None:
+    """Merge per-block engine annotations into an outline's ``bgp`` nodes."""
+    if outline.get("op") == "bgp":
+        extra = extras.get(outline.get("block"))
+        if extra:
+            outline.update(extra)
+        return
+    for child_key in ("left", "right", "child"):
+        child = outline.get(child_key)
+        if isinstance(child, dict):
+            _attach_block_extras(child, extras)
+    for branch in outline.get("branches", ()):
+        if isinstance(branch, dict):
+            _attach_block_extras(branch, extras)
+
+
 class AmberEngine(QueryEngineBase):
     """Attributed Multigraph Based Engine for RDF querying."""
 
@@ -653,6 +769,8 @@ class AmberEngine(QueryEngineBase):
         #: Bumped on every mutation batch that changed the graph; cached
         #: results keyed by (query, data_version) stay valid forever.
         self.data_version = 0
+        #: Cost-based algebra planner, fed by this engine's block estimator.
+        self.planner = QueryPlanner()
         self._mutator = GraphMutator(data, indexes)
 
     @property
@@ -905,16 +1023,17 @@ class AmberEngine(QueryEngineBase):
         """Smallest-posting cardinality bound over the block's vertices.
 
         The same estimate that drives cardinality matching order: each
-        vertex's candidates are bounded by its smallest attribute posting
-        (the whole graph when unconstrained), and a connected pattern
-        cannot produce more rows than its most selective vertex allows
-        candidate anchors.
+        vertex's candidates are bounded by its smallest attribute posting,
+        IRI-constraint neighbourhood or signature-synopsis candidates, and
+        a connected pattern cannot produce more rows than its most
+        selective vertex allows candidate anchors.
         """
         if not qgraph.vertices:
             return 1
         matcher = self._default_matcher
         return min(
-            matcher._cardinality_estimate(vertex) for vertex in qgraph.vertices.values()
+            matcher.cardinality_estimate(vertex, qgraph)
+            for vertex in qgraph.vertices.values()
         )
 
     def statistics(self) -> dict[str, int]:

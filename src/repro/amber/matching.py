@@ -262,9 +262,25 @@ class MultigraphMatcher:
     # the MatchBackend matcher protocol: candidates / star-match / verify
     # (used by the cluster scatter stage and by alternative backends)
     # ------------------------------------------------------------------ #
-    def initial_candidates(self, qgraph: QueryMultigraph, vertex: int) -> set[int]:
-        """Signature-index candidates for ``vertex`` (Lemma 1 pruning)."""
-        return self._initial_candidates(qgraph, vertex)
+    def initial_candidates(
+        self,
+        qgraph: QueryMultigraph,
+        vertex: int,
+        within: set[int] | None = None,
+    ) -> set[int]:
+        """Signature-index candidates for ``vertex`` (Lemma 1 pruning).
+
+        ``within`` restricts the search to a known superset (a semi-join
+        frontier): each member's stored synopsis is checked directly,
+        skipping the R-tree traversal over the whole shard.
+        """
+        if within is not None and self.config.use_signature_index:
+            incoming, outgoing = self._query_signature(qgraph, vertex)
+            return self.indexes.signatures.candidates_among(within, incoming, outgoing)
+        found = self._initial_candidates(qgraph, vertex)
+        if within is not None:
+            found &= within
+        return found
 
     def match_satellites(
         self,
@@ -386,20 +402,69 @@ class MultigraphMatcher:
         cardinality = None
         if self.config.ordering == "cardinality":
             cardinality = {
-                u: self._cardinality_estimate(qgraph.vertices[u]) for u in decomposition.core
+                u: self._cardinality_estimate(qgraph.vertices[u], qgraph)
+                for u in decomposition.core
             }
         return order_core_vertices(
             qgraph, decomposition, strategy=self.config.ordering, cardinality=cardinality
         )
 
-    def _cardinality_estimate(self, vertex: QueryVertex) -> int:
-        """Cheap upper bound on a vertex's candidates: its smallest posting."""
-        if not vertex.has_attributes:
-            return len(self.data.graph)
-        return min(len(self.indexes.attributes.vertices_with(a)) for a in vertex.attributes)
+    def cardinality_estimate(
+        self, vertex: QueryVertex, qgraph: QueryMultigraph | None = None
+    ) -> int:
+        """Cheap upper bound on a vertex's candidates (planner/cluster hook)."""
+        return self._cardinality_estimate(vertex, qgraph)
 
-    def _initial_candidates(self, qgraph: QueryMultigraph, vertex: int) -> set[int]:
-        """Candidates for the initial vertex from the signature index (or full scan)."""
+    def _cardinality_estimate(
+        self, vertex: QueryVertex, qgraph: QueryMultigraph | None = None
+    ) -> int:
+        """Cheap upper bound on a vertex's candidates.
+
+        The bound honours every constraint the matcher itself applies: an
+        unsatisfiable vertex admits nothing; attributes bound the vertex by
+        its smallest posting; an IRI constraint bounds it by the constant's
+        relevant neighbourhood (so a vertex bound to a constant estimates
+        the constant's fan-in/out, not the whole graph, and a constant
+        absent from the data estimates 0); a purely edge-constrained vertex
+        falls back to its signature-synopsis candidates when the query
+        graph is at hand.  The old smallest-posting-only bound returned
+        ``len(graph)`` for every attribute-free vertex, which made
+        ``ordering="cardinality"`` rank constant-bound and hub vertices
+        identically — hubs could be picked first.
+        """
+        if vertex.unsatisfiable:
+            return 0
+        bounds: list[int] = []
+        if vertex.has_attributes:
+            bounds.append(
+                min(len(self.indexes.attributes.vertices_with(a)) for a in vertex.attributes)
+            )
+        for constraint in vertex.iri_constraints:
+            if constraint.data_vertex is None:
+                return 0
+            neighbors = self.indexes.neighborhoods.neighbors(
+                constraint.data_vertex, _flip(constraint.direction), constraint.edge_types
+            )
+            bounds.append(len(neighbors))
+        if bounds:
+            return min(bounds)
+        if qgraph is not None and self.config.use_signature_index:
+            incoming = [
+                frozenset(types)
+                for types in qgraph.graph.in_neighbors(vertex.identifier).values()
+            ]
+            outgoing = [
+                frozenset(types)
+                for types in qgraph.graph.out_neighbors(vertex.identifier).values()
+            ]
+            if incoming or outgoing:
+                return len(self.indexes.signatures.candidates(incoming, outgoing))
+        return len(self.data.graph)
+
+    def _query_signature(
+        self, qgraph: QueryMultigraph, vertex: int
+    ) -> tuple[list[frozenset[int]], list[frozenset[int]]]:
+        """The query vertex's multi-edge signature, IRI-constraint edges included."""
         incoming = [frozenset(types) for types in qgraph.graph.in_neighbors(vertex).values()]
         outgoing = [frozenset(types) for types in qgraph.graph.out_neighbors(vertex).values()]
         query_vertex = qgraph.vertices[vertex]
@@ -408,6 +473,11 @@ class MultigraphMatcher:
                 incoming.append(constraint.edge_types)
             else:
                 outgoing.append(constraint.edge_types)
+        return incoming, outgoing
+
+    def _initial_candidates(self, qgraph: QueryMultigraph, vertex: int) -> set[int]:
+        """Candidates for the initial vertex from the signature index (or full scan)."""
+        incoming, outgoing = self._query_signature(qgraph, vertex)
         profile = current_profile()
         if profile is not None:
             profile.count("index.signature_probes")

@@ -38,6 +38,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from itertools import product
 from time import perf_counter
@@ -51,18 +52,30 @@ from ..multigraph.builder import DataMultigraph
 from ..multigraph.query_graph import QueryMultigraph
 from ..rdf.terms import IRI, BlankNode, Triple
 from ..sparql.bindings import Binding
+from ..sparql.planner import QueryPlanner
 from ..sparql.update import UpdateRequest, parse_update
 from ..telemetry.accounting import current_profile, start_profile
 from ..telemetry.trace import record_span, span, timed_iter
 from ..timing import Deadline
 from .mutation import ClusterMutator
 from .partition import ShardedData, partition_data
-from .scatter import StarMatch, StarQuery, match_star, plan_stars
+from .scatter import (
+    ScatterPlan,
+    StarMatch,
+    StarQuery,
+    match_star,
+    plan_scatter,
+    should_push,
+)
 
 __all__ = ["ClusterCatalog", "ShardedEngine"]
 
 #: Worker-pool kinds accepted by :class:`ShardedEngine`.
 _EXECUTORS = ("thread", "process", "serial")
+
+#: Sentinel marking a shard that owns no member of a root-pinning frontier:
+#: it cannot anchor any match of the star, so its scatter is skipped.
+_SKIP_SHARD = object()
 
 
 class _OwnedGraphView:
@@ -156,6 +169,13 @@ class ShardedEngine(QueryEngineBase):
         self.plan_cache = plan_cache
         self.build_report = build_report
         self.data_version = 0
+        #: Cost-based algebra planner, fed by the summed shard estimates.
+        self.planner = QueryPlanner()
+        #: Scatter plans memoised per compiled query graph (weak keys: an
+        #: entry dies with its plan-cache eviction) and data_version.
+        self._scatter_plans: "weakref.WeakKeyDictionary[QueryMultigraph, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
         self.executor = executor
         default_workers = min(len(self.shards), os.cpu_count() or 1)
         self.workers = workers if workers is not None else default_workers
@@ -299,22 +319,37 @@ class ShardedEngine(QueryEngineBase):
         timeout_seconds: float | None,
         max_solutions: int | None,
     ) -> Iterator[Binding]:
-        """One component: scatter stars in selectivity order, join, expand.
+        """One component: scatter stars in estimated-cost order, join, expand.
 
         Stars run as waves — every shard matches the current star in
-        parallel — ordered most-constrained-first under a connectivity
-        constraint.  The values each query vertex can still take (its
-        semi-join *frontier*) are pushed into the next wave's scatter, so
-        an unconstrained interior star only evaluates anchors that some
-        already-joined star can reach, mirroring the pruning the recursive
-        single-process matcher gets from matched neighbours.
+        parallel — ordered cheapest-estimated-first under a connectivity
+        constraint (:func:`~.scatter.plan_scatter`).  The values each query
+        vertex can still take (its semi-join *frontier*) are pushed into
+        the next wave's scatter when the planner expects it to restrict,
+        so an unconstrained interior star only evaluates anchors that some
+        already-joined star can reach; a star whose own anchor set is
+        already narrower than the frontier skips the per-anchor
+        intersections instead.
         """
-        stars = _order_stars(qgraph, plan_stars(qgraph, component))
+        splan = self._scatter_plan(qgraph, component)
+        profile = current_profile()
         states: list[_JoinState] | None = None
         frontier: dict[int, frozenset[int]] = {}
-        for star in stars:
-            with span("cluster.scatter", star_root=star.root, shards=self.shard_count) as sp:
-                relation = self._scatter_star(qgraph, star, frontier, deadline)
+        for star in splan.stars:
+            push = should_push(star, frontier, splan.estimates.get(star.root))
+            if profile is not None and frontier:
+                profile.count(
+                    "cluster.pushdown.applied" if push else "cluster.pushdown.skipped"
+                )
+            with span(
+                "cluster.scatter",
+                star_root=star.root,
+                shards=self.shard_count,
+                pushdown=push,
+            ) as sp:
+                relation = self._scatter_star(
+                    qgraph, star, frontier if push else None, deadline
+                )
                 sp.annotate(matches=len(relation))
             with span("cluster.join", star_root=star.root) as sp:
                 states = _join_star(star, relation, states, deadline)
@@ -334,17 +369,61 @@ class ShardedEngine(QueryEngineBase):
                 }
             )
 
+    def _scatter_plan(self, qgraph: QueryMultigraph, component: set[int]) -> ScatterPlan:
+        """Cost-ordered star cover with per-star frontier-pushdown decisions.
+
+        Constrained roots (attributes or IRI constraints) sum cheap
+        per-shard posting/neighbourhood bounds exactly — ownership
+        partitions the anchors, so the cluster-wide figure is the plain
+        sum.  Unconstrained roots need a signature-synopsis scan, whose
+        cost grows with the shard count when run everywhere; one shard is
+        probed instead and scaled by the shard count (hash partitioning
+        spreads vertices uniformly), keeping planning overhead flat as
+        shards are added.  Plans are memoised per compiled query graph and
+        ``data_version``, so EXPLAIN ANALYZE and repeated executions of a
+        cached plan do not re-estimate.
+        """
+        key = (self.data_version, tuple(sorted(component)))
+        memo = self._scatter_plans.setdefault(qgraph, {})
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+
+        def root_estimate(root: int) -> int:
+            vertex = qgraph.vertices[root]
+            if vertex.attributes or vertex.iri_constraints:
+                return sum(
+                    engine.matcher.cardinality_estimate(vertex, qgraph)
+                    for engine in self.shards
+                )
+            probe = self.shards[root % self.shard_count]
+            return probe.matcher.cardinality_estimate(vertex, qgraph) * self.shard_count
+
+        plan = plan_scatter(qgraph, component, root_estimate)
+        memo[key] = plan
+        return plan
+
+    def _bgp_outline_extras(self, qgraph: QueryMultigraph) -> dict | None:
+        """EXPLAIN annotation: the scatter plan(s) of one BGP's components."""
+        components = qgraph.connected_components()
+        if not components:
+            return None
+        plans = [self._scatter_plan(qgraph, component).as_dict() for component in components]
+        return {"scatter": plans[0] if len(plans) == 1 else plans}
+
     def _scatter_star(
         self,
         qgraph: QueryMultigraph,
         star: StarQuery,
-        frontier: dict[int, frozenset[int]],
+        restrict: dict[int, frozenset[int]] | None,
         deadline: Deadline,
     ) -> list[StarMatch]:
         """Match one star on every shard; return the union relation.
 
         Ownership partitions the anchors, so concatenating per-shard results
         in shard order is the exact, duplicate-free global star relation.
+        ``restrict`` is the semi-join frontier when the scatter plan decided
+        to push it down, None otherwise.
 
         Worker-pool threads and processes do not inherit the request
         thread's trace or query profile, so each shard's matching is timed
@@ -354,12 +433,16 @@ class ShardedEngine(QueryEngineBase):
         thread, with :func:`record_span` / ``absorb_shard`` — no-ops unless
         the request is traced / profiled.
         """
-        restrict = frontier if frontier else None
+        restrict = restrict or None
+        restricts = self._shard_restricts(star, restrict)
         profile = current_profile()
         profiled = profile is not None
         if self.executor == "serial" or self.workers <= 1 or self.shard_count == 1:
             relation: list[StarMatch] = []
             for shard in range(self.shard_count):
+                shard_restrict = restricts[shard]
+                if shard_restrict is _SKIP_SHARD:
+                    continue
                 begin = perf_counter()
                 if profiled:
                     # A fresh sub-profile shadows the request profile so the
@@ -368,12 +451,13 @@ class ShardedEngine(QueryEngineBase):
                     with start_profile() as sub:
                         matches = match_star(
                             self.shards[shard], qgraph, star, self.owner, shard, deadline,
-                            restrict,
+                            shard_restrict,
                         )
                     profile.absorb_shard(shard, sub.counters)
                 else:
                     matches = match_star(
-                        self.shards[shard], qgraph, star, self.owner, shard, deadline, restrict
+                        self.shards[shard], qgraph, star, self.owner, shard, deadline,
+                        shard_restrict,
                     )
                 record_span(
                     "cluster.scatter.shard",
@@ -384,18 +468,24 @@ class ShardedEngine(QueryEngineBase):
                 relation.extend(matches)
             return relation
         pool = self._ensure_pool()
+        active = [
+            shard for shard in range(self.shard_count) if restricts[shard] is not _SKIP_SHARD
+        ]
         if self.executor == "process":
             futures = [
-                pool.submit(
-                    _match_star_in_worker,
+                (
                     shard,
-                    qgraph,
-                    star,
-                    deadline.remaining(),
-                    restrict,
-                    profiled,
+                    pool.submit(
+                        _match_star_in_worker,
+                        shard,
+                        qgraph,
+                        star,
+                        deadline.remaining(),
+                        restricts[shard],
+                        profiled,
+                    ),
                 )
-                for shard in range(self.shard_count)
+                for shard in active
             ]
         else:
 
@@ -405,23 +495,49 @@ class ShardedEngine(QueryEngineBase):
                     with start_profile() as sub:
                         matches = match_star(
                             self.shards[shard], qgraph, star, self.owner, shard, deadline,
-                            restrict,
+                            restricts[shard],
                         )
                     return perf_counter() - begin, matches, sub.counters
                 matches = match_star(
-                    self.shards[shard], qgraph, star, self.owner, shard, deadline, restrict
+                    self.shards[shard], qgraph, star, self.owner, shard, deadline,
+                    restricts[shard],
                 )
                 return perf_counter() - begin, matches, None
 
-            futures = [pool.submit(timed_match, shard) for shard in range(self.shard_count)]
+            futures = [(shard, pool.submit(timed_match, shard)) for shard in active]
         relation = []
-        for shard, future in enumerate(futures):
+        for shard, future in futures:
             seconds, matches, counters = future.result()
             record_span("cluster.scatter.shard", seconds, shard=shard, matches=len(matches))
             if profiled and counters:
                 profile.absorb_shard(shard, counters)
             relation.extend(matches)
         return relation
+
+    def _shard_restricts(
+        self, star: StarQuery, restrict: dict[int, frozenset[int]] | None
+    ) -> list:
+        """Per-shard views of one star wave's semi-join frontier.
+
+        When the frontier pins the star's root, its members are split by
+        owner once here instead of every shard filtering the full set —
+        the owned-anchor check partitions across the cluster, and a shard
+        owning no frontier member is skipped outright (it cannot anchor
+        any match).  Leaf frontiers are not owner-partitioned (a leaf
+        candidate may live in any shard's halo), so they pass through.
+        """
+        if restrict is None or star.root not in restrict:
+            return [restrict] * self.shard_count
+        slices: list[set[int]] = [set() for _ in range(self.shard_count)]
+        owner = self.owner
+        for vertex in restrict[star.root]:
+            shard = owner.get(vertex)
+            if shard is not None:
+                slices[shard].add(vertex)
+        return [
+            {**restrict, star.root: frozenset(members)} if members else _SKIP_SHARD
+            for members in slices
+        ]
 
     def _estimate_block_rows(self, qgraph: QueryMultigraph) -> int | None:
         """Sum of per-shard smallest-posting bounds.
@@ -550,35 +666,6 @@ class ShardedEngine(QueryEngineBase):
 #: domains for query vertices not yet anchored (satellites and roots of
 #: stars still to come).
 _JoinState = tuple[dict[int, int], dict[int, frozenset[int]]]
-
-
-def _order_stars(qgraph: QueryMultigraph, stars: list[StarQuery]) -> list[StarQuery]:
-    """Most-constrained-first star order under a connectivity constraint.
-
-    The first star anchors the smallest expected relation (constrained
-    roots first, then structure-rich ones — the r1/r2 spirit of Sec. 5.3);
-    each following star must touch an already-bound vertex when possible,
-    so its scatter inherits a restricting frontier.
-    """
-
-    def rank(star: StarQuery):
-        vertex = qgraph.vertices[star.root]
-        constrained = bool(vertex.attributes) or bool(vertex.iri_constraints)
-        edge_types = sum(len(types) for types in qgraph.multi_edge_signature(star.root))
-        return (0 if constrained else 1, -edge_types, star.root)
-
-    remaining = sorted(stars, key=rank)
-    order = [remaining.pop(0)]
-    bound = set(order[0].shared) | set(order[0].private)
-    while remaining:
-        connected = [s for s in remaining if bound & (set(s.shared) | set(s.private))]
-        pool = connected or remaining
-        chosen = min(pool, key=rank)
-        remaining.remove(chosen)
-        order.append(chosen)
-        bound.update(chosen.shared)
-        bound.update(chosen.private)
-    return order
 
 
 def _join_star(

@@ -28,14 +28,23 @@ can take the plain union of per-shard results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from ..amber.engine import AmberEngine
 from ..multigraph.query_graph import QueryMultigraph
 from ..telemetry.accounting import current_profile
 from ..timing import Deadline
 
-__all__ = ["StarQuery", "StarMatch", "plan_stars", "match_star"]
+__all__ = [
+    "ScatterPlan",
+    "StarQuery",
+    "StarMatch",
+    "plan_scatter",
+    "plan_stars",
+    "match_star",
+    "should_push",
+]
 
 
 @dataclass(frozen=True)
@@ -100,6 +109,148 @@ def plan_stars(qgraph: QueryMultigraph, component: set[int]) -> list[StarQuery]:
     return stars
 
 
+@dataclass(frozen=True)
+class ScatterPlan:
+    """A cost-ordered star cover of one component plus pushdown decisions.
+
+    ``estimates`` maps each star root to its estimated cluster-wide anchor
+    count (empty when the engine has no estimator); ``pushdown`` records,
+    per root, whether that star's scatter receives the semi-join frontier.
+    """
+
+    stars: tuple[StarQuery, ...]
+    estimates: dict[int, int] = field(default_factory=dict)
+    pushdown: dict[int, bool] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary for ``EXPLAIN`` (star order with decisions)."""
+        return {
+            "stars": [
+                {
+                    "root": star.root,
+                    "leaves": len(star.leaves),
+                    "estimated_anchors": self.estimates.get(star.root),
+                    "pushdown": self.pushdown.get(star.root, False),
+                }
+                for star in self.stars
+            ]
+        }
+
+
+def plan_scatter(
+    qgraph: QueryMultigraph,
+    component: set[int],
+    root_estimate: Callable[[int], int] | None = None,
+) -> ScatterPlan:
+    """Order the star cover by estimated cost and decide frontier pushdown.
+
+    ``root_estimate`` maps a root vertex to its estimated cluster-wide
+    anchor count; without it the historical heuristic order is kept and
+    every later star receives the frontier (the pre-planner behaviour).
+
+    The first star never receives a frontier — there is none yet.  A later
+    star receives it only when it is expected to restrict: the cheapest
+    already-scattered star (a bound on how narrow the joined frontier can
+    be) is no larger than the star's own anchor estimate.  Skipping the
+    pushdown is always correct — the gather join enforces consistency
+    regardless — so the decision trades the per-anchor intersection cost
+    against the anchors it would prune.
+    """
+    stars = plan_stars(qgraph, component)
+    estimates: dict[int, int] = {}
+    if root_estimate is not None:
+        estimates = {star.root: root_estimate(star.root) for star in stars}
+    ordered = _order_stars(qgraph, stars, estimates or None)
+    pushdown: dict[int, bool] = {}
+    seen: set[int] = set()
+    expected: int | None = None
+    for position, star in enumerate(ordered):
+        scope = set(star.shared) | set(star.private)
+        own = estimates.get(star.root)
+        if position == 0 or not (scope & seen):
+            pushdown[star.root] = False
+        elif star.root in seen or own is None or expected is None:
+            pushdown[star.root] = True
+        else:
+            pushdown[star.root] = expected <= own
+        seen |= scope
+        if own is not None:
+            expected = own if expected is None else min(expected, own)
+    return ScatterPlan(stars=tuple(ordered), estimates=estimates, pushdown=pushdown)
+
+
+def should_push(
+    star: StarQuery,
+    frontier: dict[int, frozenset[int]],
+    own_estimate: int | None,
+) -> bool:
+    """Decide at gather time whether one star's scatter receives the frontier.
+
+    Unlike :func:`plan_scatter`'s static expectation, the frontier's actual
+    sizes are known here, so the decision corrects estimation error wave by
+    wave.  Pushing is worthwhile when the frontier can restrict the star:
+    always when it pins the root (whole anchor loops are skipped), and for
+    a leaf-only overlap when the tightest overlapping frontier is no larger
+    than the star's own estimated anchors (otherwise the per-anchor
+    intersections cost more than they prune).  A star disjoint from the
+    frontier gains nothing — skip.  Skipping is always correct: the gather
+    join enforces consistency regardless.
+    """
+    if not frontier:
+        return False
+    scope = set(star.shared) | set(star.private)
+    overlap = [vertex for vertex in scope if vertex in frontier]
+    if not overlap:
+        return False
+    if star.root in frontier:
+        return True
+    if own_estimate is None:
+        return True
+    return min(len(frontier[vertex]) for vertex in overlap) <= own_estimate
+
+
+def _order_stars(
+    qgraph: QueryMultigraph,
+    stars: list[StarQuery],
+    estimates: dict[int, int] | None = None,
+) -> list[StarQuery]:
+    """Cheapest-first star order under a connectivity constraint.
+
+    With estimates, each star ranks by its expected anchor relation size
+    (ties broken by the constrained-first heuristic); without, the
+    heuristic alone ranks (constrained roots first, then structure-rich
+    ones — the r1/r2 spirit of Sec. 5.3).  Each following star must touch
+    an already-bound vertex when possible, so its scatter inherits a
+    restricting frontier — and among those, a star whose *root* is
+    already bound is preferred outright: its scatter verifies the owned
+    frontier members directly (work that partitions across shards)
+    instead of running a signature R-tree scan on every shard.
+    """
+
+    def rank(star: StarQuery):
+        vertex = qgraph.vertices[star.root]
+        constrained = bool(vertex.attributes) or bool(vertex.iri_constraints)
+        edge_types = sum(len(types) for types in qgraph.multi_edge_signature(star.root))
+        heuristic = (0 if constrained else 1, -edge_types, star.root)
+        if estimates is None:
+            return heuristic
+        return (estimates[star.root], *heuristic)
+
+    remaining = sorted(stars, key=rank)
+    order = [remaining.pop(0)]
+    bound = set(order[0].shared) | set(order[0].private)
+    while remaining:
+        connected = [s for s in remaining if bound & (set(s.shared) | set(s.private))]
+        pool = connected or remaining
+        rooted = [s for s in pool if s.root in bound]
+        chosen = min(rooted or pool, key=rank)
+        remaining.remove(chosen)
+        order.append(chosen)
+        bound.update(chosen.shared)
+        bound.update(chosen.private)
+    return order
+
+
 def match_star(
     engine: AmberEngine,
     qgraph: QueryMultigraph,
@@ -129,14 +280,20 @@ def match_star(
     # MatchBackend protocol, so a vectorized shard serves its star anchors
     # and leaf sets from columnar posting arrays.
     matcher = engine.matcher
-    candidates = matcher.initial_candidates(qgraph, star.root)
+    root_restrict = restrict.get(star.root)
+    if root_restrict is not None:
+        # A root frontier is a known superset of every viable anchor, so
+        # the signature check runs over its owned members only — each
+        # member is owned by exactly one shard, so the work partitions
+        # across the cluster instead of an R-tree traversal per shard.
+        owned = {c for c in root_restrict if owner.get(c) == shard}
+        candidates = matcher.initial_candidates(qgraph, star.root, within=owned)
+    else:
+        candidates = matcher.initial_candidates(qgraph, star.root)
     generated = len(candidates)
     refined = matcher.vertex_candidates(qgraph.vertices[star.root])
     if refined is not None:
         candidates &= refined
-    root_restrict = restrict.get(star.root)
-    if root_restrict is not None:
-        candidates &= root_restrict
     anchored = sorted(c for c in candidates if owner.get(c) == shard)
     if profile is not None:
         profile.count("candidates.generated", generated)

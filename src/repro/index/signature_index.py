@@ -7,7 +7,7 @@ The index stores one synopsis per data vertex inside an R-tree and answers
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from ..multigraph.graph import Multigraph
 from .rtree import RTree
@@ -102,6 +102,28 @@ class SignatureIndex:
             vertex for vertex in stale if dominates(query_fields, self._synopses[vertex])
         )
         return found
+
+    def candidates_among(
+        self,
+        members: Iterable[int],
+        incoming: Sequence[frozenset[int]],
+        outgoing: Sequence[frozenset[int]],
+    ) -> set[int]:
+        """Return the subset of ``members`` whose synopsis dominates the query's.
+
+        Membership-restricted variant of :func:`candidates` for semi-join
+        frontiers: checking ``|members|`` stored synopses directly beats a
+        full R-tree traversal whenever the frontier is narrower than the
+        candidate set, and the synopsis table is always current (staleness
+        only affects the R-tree), so no stale-set handling is needed.
+        """
+        query_fields = query_synopsis(incoming, outgoing)
+        synopses = self._synopses
+        return {
+            vertex
+            for vertex in members
+            if vertex in synopses and dominates(query_fields, synopses[vertex])
+        }
 
     def candidates_scan(
         self,

@@ -750,11 +750,14 @@ class EngineService:
                     "executor": self.engine.executor,
                     "per_shard": self.engine.shard_stats(),
                 }
+            planner = getattr(self.engine, "planner", None)
+            planner_stats = planner.stats_dict() if planner is not None else None
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "engine": engine_stats,
             "match_backend": match_backend,
             "cluster": cluster,
+            "planner": planner_stats,
             "data_version": data_version,
             "build_report": report.as_dict() if report is not None else None,
             "queries": counters,

@@ -24,6 +24,13 @@ from .expressions import (
     Regex,
 )
 from .parser import SparqlParser, SparqlSyntaxError, parse_sparql
+from .planner import (
+    CardinalityEstimator,
+    PlanDecisions,
+    PlannerStats,
+    QueryPlanner,
+    shape_key,
+)
 from .tokenizer import Token, tokenize
 from .update import (
     DeleteData,
@@ -50,6 +57,11 @@ __all__ = [
     "CompiledPattern",
     "compile_pattern",
     "evaluate_plan",
+    "CardinalityEstimator",
+    "PlanDecisions",
+    "PlannerStats",
+    "QueryPlanner",
+    "shape_key",
     "Expression",
     "ExpressionError",
     "And",

@@ -29,7 +29,7 @@ engine contract is the ``solver(BGPNode) -> Iterable[Binding]`` callable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Union
+from typing import Callable, Iterable, Iterator, Union
 
 from .algebra import (
     Filter,
@@ -90,11 +90,18 @@ class BGPNode:
 
 @dataclass
 class JoinNode:
-    """Join of two operands (SPARQL multiset join via compatible merge)."""
+    """Join of two operands (SPARQL multiset join via compatible merge).
+
+    ``build`` names the side the hash join materialises and buckets
+    (``"left"`` or ``"right"``); the other side streams past the buckets.
+    The planner sets it to the smaller estimated side — the default
+    preserves the historical build-left behaviour.
+    """
 
     left: "PlanNode"
     right: "PlanNode"
     node_id: int = -1
+    build: str = "left"
 
 
 @dataclass
@@ -107,12 +114,19 @@ class UnionNode:
 
 @dataclass
 class LeftJoinNode:
-    """``OPTIONAL``: left-join with an optional join condition."""
+    """``OPTIONAL``: left-join with an optional join condition.
+
+    ``build`` names the materialised side: ``"right"`` (the default, and
+    the historical behaviour) buckets the optional side and streams the
+    required side; ``"left"`` buckets the required side when the planner
+    estimates it smaller, tracking per-row match state instead.
+    """
 
     left: "PlanNode"
     right: "PlanNode"
     condition: Expression | None = None
     node_id: int = -1
+    build: str = "right"
 
 
 @dataclass
@@ -417,6 +431,7 @@ def _outline_node(
         out = {
             "op": "join",
             "id": node.node_id,
+            "build": node.build,
             "left": _outline_node(node.left, estimator, actuals),
             "right": _outline_node(node.right, estimator, actuals),
         }
@@ -424,6 +439,7 @@ def _outline_node(
         out = {
             "op": "leftjoin",
             "id": node.node_id,
+            "build": node.build,
             "condition": node.condition is not None,
             "left": _outline_node(node.left, estimator, actuals),
             "right": _outline_node(node.right, estimator, actuals),
@@ -504,20 +520,27 @@ def _bucket(rows: list[Binding], keys: list[Variable]) -> dict[tuple, list[Bindi
 def _stream_join(node: JoinNode, solver: BGPSolver, deadline: Deadline) -> Iterator[Binding]:
     """SPARQL Join: all compatible merges, as a multiset.
 
-    The left operand is materialised and bucketed on the join keys (the
-    variables certainly bound on *both* sides); right rows stream past
-    the buckets.  An empty bucket is exact, not approximate: a left row
-    outside the probed bucket differs on a certainly-bound shared
-    variable, so its merge would conflict anyway.
+    The build side (``node.build``, planner-chosen, default left) is
+    materialised and bucketed on the join keys (the variables certainly
+    bound on *both* sides); the other side's rows stream past the buckets.
+    An empty bucket is exact, not approximate: a build row outside the
+    probed bucket differs on a certainly-bound shared variable, so its
+    merge would conflict anyway.
+
+    The deadline is checked inside the bucket scan, not just once per
+    probe row — a single skewed bucket must not outlive the timeout.
     """
-    left = evaluate_plan(node.left, solver, deadline)
-    if not left:
+    build_node = node.right if node.build == "right" else node.left
+    probe_node = node.left if node.build == "right" else node.right
+    built = evaluate_plan(build_node, solver, deadline)
+    if not built:
         return
     keys = _join_keys(node.left, node.right)
-    buckets = _bucket(left, keys)
-    for row in stream_plan(node.right, solver, deadline):
+    buckets = _bucket(built, keys)
+    for row in stream_plan(probe_node, solver, deadline):
         deadline.check()
         for other in buckets.get(tuple(row[v] for v in keys), ()):
+            deadline.check()
             combined = other.merge(row)
             if combined is not None:
                 yield combined
@@ -528,9 +551,15 @@ def _stream_left_join(
 ) -> Iterator[Binding]:
     """SPARQL LeftJoin: Filter(condition, Join) plus unmatched left rows.
 
-    The optional side is materialised and bucketed on the join keys; left
-    rows stream, each probing one bucket (exact, as in :func:`_stream_join`).
+    By default the optional side is materialised and bucketed on the join
+    keys; left rows stream, each probing one bucket (exact, as in
+    :func:`_stream_join`).  When the planner estimates the required side
+    smaller (``node.build == "left"``) the roles flip — see
+    :func:`_stream_left_join_build_left`.
     """
+    if node.build == "left":
+        yield from _stream_left_join_build_left(node, solver, deadline)
+        return
     right = evaluate_plan(node.right, solver, deadline)
     keys = _join_keys(node.left, node.right)
     buckets = _bucket(right, keys)
@@ -547,4 +576,40 @@ def _stream_left_join(
             yield combined
             matched = True
         if not matched:
+            yield row
+
+
+def _stream_left_join_build_left(
+    node: LeftJoinNode, solver: BGPSolver, deadline: Deadline
+) -> Iterator[Binding]:
+    """LeftJoin with the *required* side materialised and bucketed.
+
+    Chosen by the planner when the required side is estimated smaller than
+    the optional one.  Optional rows stream past the buckets; each left
+    row remembers whether it ever matched, and the unmatched left rows are
+    emitted after the stream drains.  The multiset is identical to the
+    build-right variant — only the emission order differs, which SPARQL
+    multiset semantics does not observe.
+    """
+    left = evaluate_plan(node.left, solver, deadline)
+    if not left:
+        return
+    keys = _join_keys(node.left, node.right)
+    buckets: dict[tuple, list[tuple[int, Binding]]] = {}
+    for position, row in enumerate(left):
+        buckets.setdefault(tuple(row[v] for v in keys), []).append((position, row))
+    matched = [False] * len(left)
+    for row in stream_plan(node.right, solver, deadline):
+        deadline.check()
+        for position, other in buckets.get(tuple(row[v] for v in keys), ()):
+            deadline.check()
+            combined = other.merge(row)
+            if combined is None:
+                continue
+            if node.condition is not None and not filter_passes(node.condition, combined):
+                continue
+            yield combined
+            matched[position] = True
+    for position, row in enumerate(left):
+        if not matched[position]:
             yield row
